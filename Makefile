@@ -1,0 +1,46 @@
+# fesplit — reproduction of "Characterizing Roles of Front-end Servers in
+# End-to-End Performance of Dynamic Content Distribution" (IMC 2011).
+
+GO ?= go
+
+.PHONY: all build test vet bench report report-full examples clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+	$(GO) build -o bin/fesplit ./cmd/fesplit
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+cover:
+	$(GO) test -cover ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Light-scale figure regeneration (seconds).
+report: build
+	./bin/fesplit report
+
+# Paper-scale regeneration (250 nodes, 720 repeats; ~10 min, ~4 GB RSS).
+report-full: build
+	./bin/fesplit report -scale full -csv results_csv | tee report_full.txt
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/placement
+	$(GO) run ./examples/splitbaseline
+	$(GO) run ./examples/cachingdetect
+	$(GO) run ./examples/livedemo
+	$(GO) run ./examples/dnspolicy
+
+clean:
+	rm -rf bin

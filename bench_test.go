@@ -1,0 +1,551 @@
+package fesplit
+
+// The benchmark harness regenerates every figure and in-text experiment
+// of the paper's evaluation, one benchmark per figure, and reports the
+// paper-comparable headline numbers as custom benchmark metrics
+// (b.ReportMetric). Run with:
+//
+//	go test -bench=. -benchmem
+//
+// Ablation benches cover the design choices called out in DESIGN.md:
+// split TCP vs direct, FE placement, and the initial congestion window.
+
+import (
+	"testing"
+	"time"
+
+	"fesplit/internal/backend"
+	"fesplit/internal/cdn"
+	"fesplit/internal/dns"
+	"fesplit/internal/emulator"
+	"fesplit/internal/simnet"
+	"fesplit/internal/stats"
+	"fesplit/internal/tcpsim"
+)
+
+// benchSeed keeps all benches on one deterministic world.
+const benchSeed = 1234
+
+func benchStudy() *Study { return NewStudy(LightStudyConfig(benchSeed)) }
+
+// BenchmarkFig3KeywordEffect regenerates Figure 3: keyword-class effect
+// on Tstatic / Tdynamic. Reports the spread of per-class Tdynamic
+// medians (ms), the paper's qualitative finding.
+func BenchmarkFig3KeywordEffect(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		f3, err := benchStudy().Fig3()
+		if err != nil {
+			b.Fatal(err)
+		}
+		lo, hi := 1e18, -1e18
+		for _, c := range f3.Classes {
+			m := stats.Median(f3.Tdynamic[c])
+			if m < lo {
+				lo = m
+			}
+			if m > hi {
+				hi = m
+			}
+		}
+		b.ReportMetric(hi-lo, "Tdyn-class-spread-ms")
+	}
+}
+
+// BenchmarkFig4Timelines regenerates Figure 4: per-RTT packet event
+// timelines. Reports the cluster-gap ratio between the lowest- and
+// highest-RTT clients (in units of RTT) — >1 means merging observed.
+func BenchmarkFig4Timelines(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := benchStudy().Fig4()
+		if err != nil {
+			b.Fatal(err)
+		}
+		gap := func(row Fig4Row) float64 {
+			prev, g := -1.0, 0.0
+			for _, ev := range row.Events {
+				if ev.Send || ev.Payload == 0 {
+					continue
+				}
+				if prev >= 0 && ev.AtMS-prev > g {
+					g = ev.AtMS - prev
+				}
+				prev = ev.AtMS
+			}
+			return g / row.RTTMS
+		}
+		b.ReportMetric(gap(rows[0])/gap(rows[len(rows)-1]), "gap-merge-ratio")
+	}
+}
+
+// BenchmarkFig5FixedFE regenerates Figure 5 for both services and
+// reports the Tdelta→0 RTT thresholds (paper: Google 50–100 ms, Bing
+// 100–200 ms).
+func BenchmarkFig5FixedFE(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		fig5, err := benchStudy().Fig5()
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, f := range fig5 {
+			switch f.Service {
+			case "bing-like":
+				b.ReportMetric(f.ThresholdMS, "bing-threshold-ms")
+			case "google-like":
+				b.ReportMetric(f.ThresholdMS, "google-threshold-ms")
+			}
+			if !f.BoundsOK {
+				b.Fatalf("%s: inference bounds violated", f.Service)
+			}
+		}
+	}
+}
+
+// BenchmarkFig6RTTCDF regenerates Figure 6 and reports the fraction of
+// nodes under 20 ms per service (paper: Bing >80%, Google ~60%).
+func BenchmarkFig6RTTCDF(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		fig6, err := benchStudy().Fig6()
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, f := range fig6 {
+			switch f.Service {
+			case "bing-like":
+				b.ReportMetric(100*f.FracUnder20ms, "bing-under20ms-pct")
+			case "google-like":
+				b.ReportMetric(100*f.FracUnder20ms, "google-under20ms-pct")
+			}
+		}
+	}
+}
+
+// BenchmarkFig7DefaultFE regenerates Figure 7 and reports the median
+// Tdynamic per service (Bing higher despite closer FEs).
+func BenchmarkFig7DefaultFE(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		fig7, err := benchStudy().Fig7()
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, f := range fig7 {
+			switch f.Service {
+			case "bing-like":
+				b.ReportMetric(f.MedDynamicMS, "bing-Tdyn-ms")
+			case "google-like":
+				b.ReportMetric(f.MedDynamicMS, "google-Tdyn-ms")
+			}
+		}
+	}
+}
+
+// BenchmarkFig8OverallDelay regenerates Figure 8 and reports the
+// overall-delay medians and spreads per service.
+func BenchmarkFig8OverallDelay(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		fig8, err := benchStudy().Fig8()
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, f := range fig8 {
+			switch f.Service {
+			case "bing-like":
+				b.ReportMetric(f.MedOverallMS, "bing-overall-ms")
+				b.ReportMetric(f.SpreadMS, "bing-spread-ms")
+			case "google-like":
+				b.ReportMetric(f.MedOverallMS, "google-overall-ms")
+				b.ReportMetric(f.SpreadMS, "google-spread-ms")
+			}
+		}
+	}
+}
+
+// BenchmarkFig9FactorFetch regenerates Figure 9 and reports the
+// regression intercepts (processing time; paper: Bing ≈260 ms, Google
+// ≈34 ms) and slopes (ms/mile; paper: 0.08 / 0.099).
+func BenchmarkFig9FactorFetch(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		fig9, err := benchStudy().Fig9()
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, f := range fig9 {
+			switch f.Service {
+			case "bing-like":
+				b.ReportMetric(f.Result.ProcTimeMS, "bing-Tproc-ms")
+				b.ReportMetric(1000*f.Result.SlopeMSPerMile, "bing-slope-us-per-mile")
+			case "google-like":
+				b.ReportMetric(f.Result.ProcTimeMS, "google-Tproc-ms")
+				b.ReportMetric(1000*f.Result.SlopeMSPerMile, "google-slope-us-per-mile")
+			}
+		}
+	}
+}
+
+// BenchmarkSec3CachingDetect regenerates the Section-3 caching probe
+// and reports the KS distances for the deployed service and the
+// cache-enabled control.
+func BenchmarkSec3CachingDetect(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		c, err := benchStudy().Caching()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(c.Deployed.KS, "deployed-KS")
+		b.ReportMetric(c.Control.KS, "control-KS")
+		if c.Deployed.CachingDetected || !c.Control.CachingDetected {
+			b.Fatal("caching verdicts flipped")
+		}
+	}
+}
+
+// BenchmarkAblationSplitTCP compares the FE deployment against the
+// direct-to-BE baseline and reports the speedup.
+func BenchmarkAblationSplitTCP(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := SingleBE(GoogleLike(benchSeed), "google-be-lenoir")
+		direct, err := RunDirectBaseline(cfg, 30, benchSeed+1, 4, 2*time.Second, benchSeed+2)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var dm []float64
+		for _, r := range direct {
+			dm = append(dm, float64(r.Overall))
+		}
+		runner, err := NewRunner(benchSeed+3, cfg, RunnerOptions{Nodes: 30, FleetSeed: benchSeed + 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		ds := runner.RunExperimentA(ExperimentAOptions{
+			QueriesPerNode: 4, Interval: 2 * time.Second, QuerySeed: benchSeed + 2,
+		})
+		var sm []float64
+		for _, p := range ExtractDataset(ds, 0) {
+			sm = append(sm, float64(p.Overall))
+		}
+		b.ReportMetric(stats.Median(dm)/stats.Median(sm), "split-speedup-x")
+	}
+}
+
+// BenchmarkAblationPlacement runs the FE-placement sweep and reports
+// the flattening ratio: delay gain of the last step toward the client
+// relative to the first step away from the BE. Small values mean the
+// paper's threshold effect is present.
+func BenchmarkAblationPlacement(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		pts, err := PlacementSweep(SweepConfig{
+			TotalMiles: 2500,
+			Fractions:  []float64{0.05, 0.25, 0.75, 0.95},
+			Repeats:    10,
+			Seed:       benchSeed,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		tail := float64(pts[1].Overall - pts[0].Overall)
+		head := float64(pts[3].Overall - pts[2].Overall)
+		b.ReportMetric(tail/head, "tail-head-gain-ratio")
+	}
+}
+
+// BenchmarkAblationInitCwnd sweeps the FE→client initial congestion
+// window (reviewer question: "differences in initial congestion
+// windows?") and reports the median overall delay per IW.
+func BenchmarkAblationInitCwnd(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, iw := range []int{1, 3, 10} {
+			cfg := GoogleLike(benchSeed)
+			cfg.FETCP = TCPConfig{InitialCwnd: iw}
+			runner, err := NewRunner(benchSeed+int64(iw), cfg,
+				RunnerOptions{Nodes: 25, FleetSeed: benchSeed + 9})
+			if err != nil {
+				b.Fatal(err)
+			}
+			ds := runner.RunExperimentA(ExperimentAOptions{
+				QueriesPerNode: 4, Interval: 2 * time.Second, QuerySeed: benchSeed + 8,
+			})
+			var ov []float64
+			for _, p := range ExtractDataset(ds, 0) {
+				ov = append(ov, float64(p.Overall)/1e6)
+			}
+			switch iw {
+			case 1:
+				b.ReportMetric(stats.Median(ov), "overall-iw1-ms")
+			case 3:
+				b.ReportMetric(stats.Median(ov), "overall-iw3-ms")
+			case 10:
+				b.ReportMetric(stats.Median(ov), "overall-iw10-ms")
+			}
+		}
+	}
+}
+
+// --- engine micro-benchmarks ---
+
+// BenchmarkEngineExperimentB measures raw simulation throughput: one
+// Experiment-B query batch end to end.
+func BenchmarkEngineExperimentB(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		runner, err := emulator.New(benchSeed, cdn.GoogleLike(benchSeed),
+			emulator.Options{Nodes: 30, FleetSeed: benchSeed})
+		if err != nil {
+			b.Fatal(err)
+		}
+		_, err = runner.RunExperimentB(emulator.BOptions{
+			FE: runner.Dep.FEs[0], Repeats: 5, Interval: time.Second,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEngineBackendOnly measures the data-center handler path.
+func BenchmarkEngineBackendOnly(b *testing.B) {
+	cfg := backend.GoogleCostModel()
+	_ = cfg
+	for i := 0; i < b.N; i++ {
+		res, err := RunDirectBaseline(SingleBE(GoogleLike(benchSeed), "google-be-lenoir"),
+			10, benchSeed, 2, time.Second, benchSeed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res) == 0 {
+			b.Fatal("no results")
+		}
+	}
+}
+
+// BenchmarkExtTermEffect regenerates the term-count correlation and
+// reports each service's per-term slope.
+func BenchmarkExtTermEffect(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := benchStudy().TermEffect()
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, d := range res {
+			switch d.Service {
+			case "bing-like":
+				b.ReportMetric(d.SlopeMSPerTerm, "bing-ms-per-term")
+			case "google-like":
+				b.ReportMetric(d.SlopeMSPerTerm, "google-ms-per-term")
+			}
+		}
+	}
+}
+
+// BenchmarkExtInteractive regenerates the Section-6 probe and reports
+// the median per-keystroke Tdynamic.
+func BenchmarkExtInteractive(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := benchStudy().Interactive("cloud computing performance")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.ModelHolds {
+			b.Fatal("model does not hold per keystroke")
+		}
+		b.ReportMetric(stats.Median(res.PerKeystrokeTdynMS), "keystroke-Tdyn-ms")
+	}
+}
+
+// BenchmarkExtWireless regenerates the wireless what-if and reports the
+// wireless/campus overall-delay ratio.
+func BenchmarkExtWireless(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := benchStudy().Wireless()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.WirelessOverallMS/res.CampusOverallMS, "wireless-slowdown-x")
+	}
+}
+
+// BenchmarkAblationSACK compares Reno and SACK loss recovery on bulk
+// transfers over a 3%-loss wide-area path, where multi-loss windows are
+// common, reporting the median completion-time ratio across seeds.
+func BenchmarkAblationSACK(b *testing.B) {
+	transfer := func(seed int64, sack bool) float64 {
+		cfg := TCPConfig{SACK: sack}
+		sim := simnet.New(seed)
+		n := simnet.NewNetwork(sim)
+		n.SetLink("c", "s", simnet.PathParams{Delay: 30 * time.Millisecond, LossRate: 0.03})
+		client := tcpsim.NewEndpoint(n, "c", cfg)
+		server := tcpsim.NewEndpoint(n, "s", cfg)
+		payload := make([]byte, 200<<10)
+		if _, err := server.Listen(80, func(c *tcpsim.Conn) {
+			c.Send(payload)
+			c.Close()
+		}); err != nil {
+			b.Fatal(err)
+		}
+		var done time.Duration
+		got := 0
+		conn := client.Dial("s", 80)
+		conn.OnData = func(d []byte) { got += len(d) }
+		conn.OnClose = func() { done = sim.Now(); conn.Close() }
+		sim.Run()
+		if got != len(payload) {
+			b.Fatalf("incomplete transfer: %d", got)
+		}
+		return float64(done)
+	}
+	for i := 0; i < b.N; i++ {
+		var reno, sack []float64
+		for seed := int64(0); seed < 12; seed++ {
+			reno = append(reno, transfer(benchSeed+seed, false))
+			sack = append(sack, transfer(benchSeed+seed, true))
+		}
+		b.ReportMetric(stats.Median(reno)/stats.Median(sack), "sack-speedup-x")
+		b.ReportMetric(stats.Median(sack)/1e6, "sack-completion-ms")
+	}
+}
+
+// BenchmarkExtDNS measures DNS-based FE resolution: median resolution
+// cost vs median fetch time (the paper excludes DNS as negligible;
+// this quantifies it).
+func BenchmarkExtDNS(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		runner, err := NewRunner(benchSeed+30, GoogleLike(benchSeed),
+			RunnerOptions{Nodes: 25, FleetSeed: benchSeed + 31})
+		if err != nil {
+			b.Fatal(err)
+		}
+		resolver := dns.New(runner.Dep, dns.Config{
+			TTL: 45 * time.Second, BaseLookup: 20 * time.Millisecond, Seed: benchSeed + 32,
+		})
+		ds := runner.RunExperimentA(ExperimentAOptions{
+			QueriesPerNode: 5, Interval: 20 * time.Second,
+			QuerySeed: benchSeed + 33, Resolver: resolver,
+		})
+		var dnsMS, fetchMS []float64
+		for _, rec := range ds.Records {
+			if rec.DNSTime > 0 {
+				dnsMS = append(dnsMS, float64(rec.DNSTime)/1e6)
+			}
+		}
+		for _, fts := range ds.FEFetchTimes {
+			for _, f := range fts {
+				fetchMS = append(fetchMS, float64(f)/1e6)
+			}
+		}
+		b.ReportMetric(stats.Median(dnsMS), "dns-ms")
+		b.ReportMetric(stats.Median(fetchMS), "fetch-ms")
+	}
+}
+
+// BenchmarkAblationFELoad sweeps FE overload: a fixed worker pool under
+// growing concurrent demand, reporting median Tstatic at low and high
+// load — the paper's "load on FE servers" factor made mechanistic.
+func BenchmarkAblationFELoad(b *testing.B) {
+	run := func(nodes int) float64 {
+		cfg := BingLike(benchSeed)
+		cfg.FEWorkers = 2
+		runner, err := NewRunner(benchSeed+40, cfg,
+			RunnerOptions{Nodes: nodes, FleetSeed: benchSeed + 41})
+		if err != nil {
+			b.Fatal(err)
+		}
+		fe := runner.Dep.FEs[0]
+		ds, err := runner.RunExperimentB(ExperimentBOptions{
+			FE: fe, Repeats: 8, Interval: 150 * time.Millisecond, // aggressive pacing
+			QuerySeed: benchSeed + 42,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		// Compare the SAME ten probe nodes across load levels (same
+		// fleet seed -> node-000..009 are identical); only the
+		// background demand from the extra nodes differs.
+		var st []float64
+		for _, p := range ExtractDataset(ds, benchBoundary(b)) {
+			if p.Node > "node-009" {
+				continue
+			}
+			st = append(st, float64(p.Tstatic)/1e6)
+		}
+		return stats.Median(st)
+	}
+	for i := 0; i < b.N; i++ {
+		lo, hi := run(10), run(80)
+		b.ReportMetric(lo, "Tstatic-10clients-ms")
+		b.ReportMetric(hi, "Tstatic-80clients-ms")
+		b.ReportMetric(hi/lo, "overload-inflation-x")
+	}
+}
+
+// benchBoundary caches the bing-like content boundary for load benches.
+var cachedBoundary int
+
+func benchBoundary(b *testing.B) int {
+	if cachedBoundary > 0 {
+		return cachedBoundary
+	}
+	runner, err := NewRunner(benchSeed+45, BingLike(benchSeed),
+		RunnerOptions{Nodes: 6, FleetSeed: benchSeed + 46})
+	if err != nil {
+		b.Fatal(err)
+	}
+	fe := runner.Dep.FEs[0]
+	sweep := runner.KeywordSweep(fe, runner.NearestNode(fe), 2, 2*time.Second, benchSeed+47)
+	merged := &emulator.Dataset{}
+	for _, sd := range sweep {
+		merged.Records = append(merged.Records, sd.Records...)
+	}
+	cachedBoundary = BoundaryFromDataset(merged)
+	if cachedBoundary <= 0 {
+		b.Fatal("no boundary")
+	}
+	return cachedBoundary
+}
+
+// BenchmarkAblationKeepAlive compares the paper's fresh-connection-per-
+// query emulator against browser-style keep-alive connection reuse,
+// reporting the median overall-delay saving (handshake + warm window).
+func BenchmarkAblationKeepAlive(b *testing.B) {
+	med := func(ds *Dataset) float64 {
+		seen := map[string]bool{}
+		var xs []float64
+		for _, rec := range ds.Records {
+			if !seen[string(rec.Node)] {
+				seen[string(rec.Node)] = true
+				continue // first query pays the handshake either way
+			}
+			xs = append(xs, float64(rec.OverallDelay())/1e6)
+		}
+		return stats.Median(xs)
+	}
+	for i := 0; i < b.N; i++ {
+		fresh, err := NewRunner(benchSeed+50, GoogleLike(benchSeed),
+			RunnerOptions{Nodes: 25, FleetSeed: benchSeed + 51})
+		if err != nil {
+			b.Fatal(err)
+		}
+		dsF := fresh.RunExperimentA(ExperimentAOptions{
+			QueriesPerNode: 5, Interval: 2 * time.Second, QuerySeed: benchSeed + 52,
+		})
+		ka, err := NewRunner(benchSeed+50, GoogleLike(benchSeed),
+			RunnerOptions{Nodes: 25, FleetSeed: benchSeed + 51})
+		if err != nil {
+			b.Fatal(err)
+		}
+		dsK := ka.RunKeepAliveA(ExperimentAOptions{
+			QueriesPerNode: 5, Interval: 2 * time.Second, QuerySeed: benchSeed + 52,
+		})
+		b.ReportMetric(med(dsF), "fresh-overall-ms")
+		b.ReportMetric(med(dsK), "keepalive-overall-ms")
+	}
+}
+
+// BenchmarkExtModelValidation quantifies the analytic model's fit to
+// the packet-level simulation.
+func BenchmarkExtModelValidation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := benchStudy().ModelValidation()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.MedAbsErrTdynMS, "Tdyn-abs-err-ms")
+		b.ReportMetric(100*res.Within10ms, "within-10ms-pct")
+	}
+}

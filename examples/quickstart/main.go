@@ -1,0 +1,60 @@
+// Quickstart: build a simulated deployment, run the fixed-FE experiment
+// (the paper's Experiment B), and extract the paper's measured
+// parameters — RTT, Tstatic, Tdynamic, Tdelta — plus the inference
+// bounds on the unobservable FE-BE fetch time.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"fesplit"
+)
+
+func main() {
+	// A study bundles the calibrated Bing-like and Google-like
+	// deployments with the measurement pipeline. The light config
+	// runs in a couple of seconds.
+	study := fesplit.NewStudy(fesplit.LightStudyConfig(42))
+
+	fig5, err := study.Fig5()
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, svc := range fig5 {
+		fmt.Printf("\n%s (fixed FE %s)\n", svc.Service, svc.FixedFE)
+		fmt.Printf("%10s %10s %10s %10s\n", "RTT", "Tstatic", "Tdynamic", "Tdelta")
+		for i, n := range svc.Nodes {
+			if i%10 != 0 { // sample a few nodes across the RTT range
+				continue
+			}
+			fmt.Printf("%10.1f %10.1f %10.1f %10.1f\n",
+				ms(n.RTT), ms(n.MedStatic), ms(n.MedDynamic), ms(n.MedDelta))
+		}
+		if svc.HasThresh {
+			fmt.Printf("Tdelta vanishes beyond ~%.0f ms RTT\n", svc.ThresholdMS)
+		}
+		fmt.Printf("inferred fetch bounds: %.1f ≤ Tfetch ≤ %.1f ms "+
+			"(ground truth %.1f, contained=%v)\n",
+			svc.BoundLoMS, svc.BoundHiMS, svc.TruthMS, svc.BoundsOK)
+	}
+
+	// The analytic model predicts the same timeline without running
+	// the packet simulation.
+	pred, err := fesplit.PredictTimeline(fesplit.ModelInputs{
+		RTT:          30 * time.Millisecond,
+		FEDelay:      12 * time.Millisecond,
+		Fetch:        120 * time.Millisecond,
+		StaticBytes:  8211,
+		DynamicBytes: 20480,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nanalytic model at RTT=30ms, fetch=120ms: "+
+		"Tstatic=%.1fms Tdynamic=%.1fms Tdelta=%.1fms coalesced=%v\n",
+		ms(pred.Tstatic()), ms(pred.Tdynamic()), ms(pred.Tdelta()), pred.Coalesced)
+}
+
+func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }

@@ -1,0 +1,150 @@
+// Package fesplit reproduces the measurement study "Characterizing
+// Roles of Front-end Servers in End-to-End Performance of Dynamic
+// Content Distribution" (Chen, Jain, Adhikari, Zhang — IMC 2011) as a
+// self-contained Go library.
+//
+// The original study probed the live Google and Bing search services
+// from PlanetLab. This library rebuilds the full ecosystem as a
+// deterministic discrete-event simulation — TCP with slow start and
+// loss recovery, HTTP, front-end proxies with split TCP and static-
+// prefix caching, back-end data centers with calibrated processing-time
+// models, a geographically placed CDN and vantage fleet — and then runs
+// the paper's own measurement pipeline on top: a query emulator,
+// tcpdump-style packet capture, trace parsing, content analysis, and
+// the model-based inference framework that bounds the unobservable
+// FE-BE fetch time (Tdelta ≤ Tfetch ≤ Tdynamic).
+//
+// # Quick start
+//
+//	study := fesplit.NewStudy(fesplit.LightStudyConfig(42))
+//	fig5, err := study.Fig5()   // fixed-FE parameter extraction
+//	fig9, err := study.Fig9()   // fetch-time factoring regression
+//	study.WriteReport(os.Stdout)
+//
+// Lower-level building blocks are exposed through aliases: build a
+// Deployment, drive it with a Runner, and analyze the datasets by hand
+// for custom experiments.
+package fesplit
+
+import (
+	"fesplit/internal/analysis"
+	"fesplit/internal/baseline"
+	"fesplit/internal/capture"
+	"fesplit/internal/cdn"
+	"fesplit/internal/core"
+	"fesplit/internal/emulator"
+	"fesplit/internal/frontend"
+	"fesplit/internal/geo"
+	"fesplit/internal/stats"
+	"fesplit/internal/tcpsim"
+	"fesplit/internal/trace"
+	"fesplit/internal/vantage"
+	"fesplit/internal/workload"
+)
+
+// Deployment building blocks.
+type (
+	// Deployment is a built service: FE fleet, BE sites and network.
+	Deployment = cdn.Deployment
+	// DeploymentConfig specifies a deployment to build.
+	DeploymentConfig = cdn.Config
+	// FrontEnd is one front-end (proxy) server.
+	FrontEnd = frontend.Server
+	// Fleet is the set of measurement vantage points.
+	Fleet = vantage.Fleet
+	// Site is a named geographic location.
+	Site = geo.Site
+	// Point is a geographic coordinate.
+	Point = geo.Point
+)
+
+// Measurement pipeline.
+type (
+	// Runner drives a vantage fleet against a deployment.
+	Runner = emulator.Runner
+	// RunnerOptions configures a Runner.
+	RunnerOptions = emulator.Options
+	// ExperimentAOptions parameterize the default-FE experiment.
+	ExperimentAOptions = emulator.AOptions
+	// ExperimentBOptions parameterize the fixed-FE experiment.
+	ExperimentBOptions = emulator.BOptions
+	// Dataset is the output of one experiment.
+	Dataset = emulator.Dataset
+	// Record is one completed query.
+	Record = emulator.Record
+	// Trace is a node's captured packet trace.
+	Trace = capture.Trace
+	// Session is a parsed per-query packet timeline.
+	Session = trace.Session
+	// Params are the per-session measured parameters
+	// (RTT, Tstatic, Tdynamic, Tdelta, Overall).
+	Params = analysis.Params
+	// NodeSummary aggregates a node's sessions.
+	NodeSummary = analysis.NodeSummary
+	// FactorResult decomposes the fetch time (Section 5).
+	FactorResult = analysis.FactorResult
+	// CacheVerdict is the caching-detection outcome (Section 3).
+	CacheVerdict = analysis.CacheVerdict
+	// ModelInputs feed the analytic timeline predictor.
+	ModelInputs = core.Inputs
+	// ModelPrediction is the predicted Figure-2 timeline.
+	ModelPrediction = core.Prediction
+	// PlacementPoint is one FE position in the placement ablation.
+	PlacementPoint = baseline.PlacementPoint
+	// QueryClass labels the keyword classes (popular, granular,
+	// complex, mixed).
+	QueryClass = workload.Class
+	// TCPConfig tunes a simulated TCP endpoint (MSS, initial window,
+	// delayed ACKs, RTO bounds).
+	TCPConfig = tcpsim.Config
+)
+
+// GoogleLike returns the calibrated Google-style deployment config:
+// sparse dedicated FEs, fast stable back-ends.
+func GoogleLike(seed int64) DeploymentConfig { return cdn.GoogleLike(seed) }
+
+// BingLike returns the calibrated Bing-style deployment config: dense
+// shared CDN FEs, slower more variable back-ends.
+func BingLike(seed int64) DeploymentConfig { return cdn.BingLike(seed) }
+
+// SingleBE restricts a deployment config to one back-end site (the
+// Figure-9 setup).
+func SingleBE(cfg DeploymentConfig, beName string) DeploymentConfig {
+	return cdn.SingleBE(cfg, beName)
+}
+
+// NewRunner builds a simulated world: deployment plus vantage fleet.
+func NewRunner(simSeed int64, cfg DeploymentConfig, opts RunnerOptions) (*Runner, error) {
+	return emulator.New(simSeed, cfg, opts)
+}
+
+// ExtractDataset measures every record of a dataset; boundary ≤ 0
+// derives the static/dynamic boundary by content analysis first.
+func ExtractDataset(ds *Dataset, boundary int) []Params {
+	return analysis.ExtractDataset(ds, boundary)
+}
+
+// BoundaryFromDataset derives a service's static/dynamic content
+// boundary by cross-query content analysis over a dataset's traces.
+func BoundaryFromDataset(ds *Dataset) int {
+	return analysis.BoundaryFromDataset(ds)
+}
+
+// PerNode aggregates measured params into per-node summaries.
+func PerNode(params []Params) []NodeSummary { return analysis.PerNode(params) }
+
+// PredictTimeline runs the paper's analytic model.
+func PredictTimeline(in ModelInputs) (ModelPrediction, error) { return core.Predict(in) }
+
+// PlacementSweep runs the FE-placement ablation.
+func PlacementSweep(cfg baseline.SweepConfig) ([]PlacementPoint, error) {
+	return baseline.PlacementSweep(cfg)
+}
+
+// SweepConfig parameterizes PlacementSweep.
+type SweepConfig = baseline.SweepConfig
+
+// MovingMedian smooths a series the way the paper's Figure 3 does.
+func MovingMedian(xs []float64, window int) []float64 {
+	return stats.MovingMedian(xs, window)
+}

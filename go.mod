@@ -1,0 +1,3 @@
+module fesplit
+
+go 1.22

@@ -1,0 +1,305 @@
+package capture
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"time"
+
+	"fesplit/internal/tcpsim"
+)
+
+// Binary trace format:
+//
+//	magic   [4]byte  "FESP"
+//	version uint16   (1)
+//	node    string   (uvarint length + bytes)
+//	nremote uvarint  remote-host string table
+//	  remote[i] string
+//	nevents uvarint
+//	  event:
+//	    dtime   uvarint  (nanoseconds since previous event)
+//	    dir     byte
+//	    remote  uvarint  (string-table index)
+//	    srcport uvarint
+//	    dstport uvarint
+//	    flags   byte     (bit 7 = retransmission)
+//	    seq     uvarint
+//	    ack     uvarint
+//	    wnd     uvarint
+//	    plen    uvarint  (original payload length, pre-snap)
+//	    nsack   uvarint  (SACK blocks)
+//	      start uvarint
+//	      end   uvarint
+//	    datalen uvarint  (captured payload bytes; ≤ plen when snapped)
+//	    data    [datalen]byte
+//
+// All integers are unsigned varints; times are deltas, which keeps
+// typical events under 20 bytes plus payload.
+
+var traceMagic = [4]byte{'F', 'E', 'S', 'P'}
+
+const traceVersion = 3
+
+const retransBit = 0x80
+
+// ErrBadTrace reports a malformed or truncated trace stream.
+var ErrBadTrace = errors.New("capture: malformed trace")
+
+// Encode writes the trace to w in the binary format.
+func (t *Trace) Encode(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(traceMagic[:]); err != nil {
+		return err
+	}
+	var scratch [binary.MaxVarintLen64]byte
+	putUvarint := func(v uint64) error {
+		n := binary.PutUvarint(scratch[:], v)
+		_, err := bw.Write(scratch[:n])
+		return err
+	}
+	putString := func(s string) error {
+		if err := putUvarint(uint64(len(s))); err != nil {
+			return err
+		}
+		_, err := bw.WriteString(s)
+		return err
+	}
+	if err := putUvarint(traceVersion); err != nil {
+		return err
+	}
+	if err := putString(t.Node); err != nil {
+		return err
+	}
+
+	// Build the remote-host string table.
+	idx := map[string]uint64{}
+	var table []string
+	for _, e := range t.Events {
+		if _, ok := idx[e.Remote]; !ok {
+			idx[e.Remote] = uint64(len(table))
+			table = append(table, e.Remote)
+		}
+	}
+	if err := putUvarint(uint64(len(table))); err != nil {
+		return err
+	}
+	for _, s := range table {
+		if err := putString(s); err != nil {
+			return err
+		}
+	}
+
+	if err := putUvarint(uint64(len(t.Events))); err != nil {
+		return err
+	}
+	prev := time.Duration(0)
+	for _, e := range t.Events {
+		if e.Time < prev {
+			return fmt.Errorf("capture: events out of order at t=%v", e.Time)
+		}
+		if err := putUvarint(uint64(e.Time - prev)); err != nil {
+			return err
+		}
+		prev = e.Time
+		if err := bw.WriteByte(byte(e.Dir)); err != nil {
+			return err
+		}
+		if err := putUvarint(idx[e.Remote]); err != nil {
+			return err
+		}
+		s := e.Seg
+		if err := putUvarint(uint64(s.SrcPort)); err != nil {
+			return err
+		}
+		if err := putUvarint(uint64(s.DstPort)); err != nil {
+			return err
+		}
+		fl := byte(s.Flags)
+		if s.Retrans {
+			fl |= retransBit
+		}
+		if err := bw.WriteByte(fl); err != nil {
+			return err
+		}
+		for _, v := range []uint64{s.Seq, s.Ack, uint64(s.Wnd),
+			uint64(e.PayloadLen)} {
+			if err := putUvarint(v); err != nil {
+				return err
+			}
+		}
+		if err := putUvarint(uint64(len(s.SACK))); err != nil {
+			return err
+		}
+		for _, b := range s.SACK {
+			if err := putUvarint(b.Start); err != nil {
+				return err
+			}
+			if err := putUvarint(b.End); err != nil {
+				return err
+			}
+		}
+		if err := putUvarint(uint64(len(s.Data))); err != nil {
+			return err
+		}
+		if _, err := bw.Write(s.Data); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Decode reads a trace from r.
+func Decode(r io.Reader) (*Trace, error) {
+	br := bufio.NewReader(r)
+	var magic [4]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadTrace, err)
+	}
+	if magic != traceMagic {
+		return nil, fmt.Errorf("%w: bad magic %q", ErrBadTrace, magic[:])
+	}
+	getUvarint := func() (uint64, error) { return binary.ReadUvarint(br) }
+	getString := func() (string, error) {
+		n, err := getUvarint()
+		if err != nil {
+			return "", err
+		}
+		if n > 1<<20 {
+			return "", fmt.Errorf("%w: oversized string (%d)", ErrBadTrace, n)
+		}
+		buf := make([]byte, n)
+		if _, err := io.ReadFull(br, buf); err != nil {
+			return "", err
+		}
+		return string(buf), nil
+	}
+
+	ver, err := getUvarint()
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadTrace, err)
+	}
+	if ver != traceVersion {
+		return nil, fmt.Errorf("%w: unsupported version %d", ErrBadTrace, ver)
+	}
+	node, err := getString()
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadTrace, err)
+	}
+	nt, err := getUvarint()
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadTrace, err)
+	}
+	if nt > 1<<20 {
+		return nil, fmt.Errorf("%w: oversized string table", ErrBadTrace)
+	}
+	table := make([]string, nt)
+	for i := range table {
+		if table[i], err = getString(); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadTrace, err)
+		}
+	}
+
+	ne, err := getUvarint()
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadTrace, err)
+	}
+	t := &Trace{Node: node, Events: make([]Event, 0, min(int(ne), 1<<20))}
+	now := time.Duration(0)
+	for i := uint64(0); i < ne; i++ {
+		dt, err := getUvarint()
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadTrace, err)
+		}
+		now += time.Duration(dt)
+		dirB, err := br.ReadByte()
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadTrace, err)
+		}
+		ri, err := getUvarint()
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadTrace, err)
+		}
+		if ri >= uint64(len(table)) {
+			return nil, fmt.Errorf("%w: remote index %d out of range", ErrBadTrace, ri)
+		}
+		src, err := getUvarint()
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadTrace, err)
+		}
+		dst, err := getUvarint()
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadTrace, err)
+		}
+		fl, err := br.ReadByte()
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadTrace, err)
+		}
+		var vals [4]uint64
+		for j := range vals {
+			if vals[j], err = getUvarint(); err != nil {
+				return nil, fmt.Errorf("%w: %v", ErrBadTrace, err)
+			}
+		}
+		nsack, err := getUvarint()
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadTrace, err)
+		}
+		if nsack > 8 {
+			return nil, fmt.Errorf("%w: %d SACK blocks", ErrBadTrace, nsack)
+		}
+		var sack []tcpsim.SACKBlock
+		for j := uint64(0); j < nsack; j++ {
+			s0, err := getUvarint()
+			if err != nil {
+				return nil, fmt.Errorf("%w: %v", ErrBadTrace, err)
+			}
+			e0, err := getUvarint()
+			if err != nil {
+				return nil, fmt.Errorf("%w: %v", ErrBadTrace, err)
+			}
+			sack = append(sack, tcpsim.SACKBlock{Start: s0, End: e0})
+		}
+		dataLen, err := getUvarint()
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadTrace, err)
+		}
+		if dataLen > 1<<24 {
+			return nil, fmt.Errorf("%w: oversized payload (%d)", ErrBadTrace, dataLen)
+		}
+		var data []byte
+		if dataLen > 0 {
+			data = make([]byte, dataLen)
+			if _, err := io.ReadFull(br, data); err != nil {
+				return nil, fmt.Errorf("%w: %v", ErrBadTrace, err)
+			}
+		}
+		t.Events = append(t.Events, Event{
+			Time:       now,
+			Dir:        tcpsim.Dir(dirB),
+			Remote:     table[ri],
+			PayloadLen: int(vals[3]),
+			Seg: tcpsim.Segment{
+				SrcPort: uint16(src),
+				DstPort: uint16(dst),
+				Flags:   tcpsim.Flags(fl &^ retransBit),
+				Retrans: fl&retransBit != 0,
+				Seq:     vals[0],
+				Ack:     vals[1],
+				Wnd:     int(vals[2]),
+				SACK:    sack,
+				Data:    data,
+			},
+		})
+	}
+	return t, nil
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,78 @@
+package capture
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"fesplit/internal/tcpsim"
+)
+
+// FuzzDecode hardens the binary trace decoder: arbitrary input must
+// produce an error or a valid trace, never a panic or runaway
+// allocation.
+func FuzzDecode(f *testing.F) {
+	// Seed with a valid encoding and some corruptions of it.
+	tr := &Trace{Node: "seed", Events: []Event{
+		{Time: time.Millisecond, Dir: tcpsim.DirSend, Remote: "fe",
+			Seg: tcpsim.Segment{Flags: tcpsim.FlagSYN, Wnd: 1000}},
+		{Time: 2 * time.Millisecond, Dir: tcpsim.DirRecv, Remote: "fe",
+			PayloadLen: 4,
+			Seg: tcpsim.Segment{Flags: tcpsim.FlagACK, Seq: 1, Ack: 1,
+				Data: []byte("data"), SACK: []tcpsim.SACKBlock{{Start: 9, End: 12}}}},
+	}}
+	var buf bytes.Buffer
+	if err := tr.Encode(&buf); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2])
+	f.Add([]byte("FESP"))
+	f.Add([]byte{})
+	corrupted := append([]byte(nil), valid...)
+	for i := range corrupted {
+		corrupted[i] ^= 0x5a
+	}
+	f.Add(corrupted)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, err := Decode(bytes.NewReader(data))
+		if err == nil && got == nil {
+			t.Fatal("nil trace without error")
+		}
+	})
+}
+
+// FuzzEncodeDecodeRoundTrip: any well-formed trace the fuzzer can build
+// from primitive fields must round-trip exactly.
+func FuzzEncodeDecodeRoundTrip(f *testing.F) {
+	f.Add(uint32(5), uint16(80), uint16(40000), []byte("payload"))
+	f.Fuzz(func(t *testing.T, dt uint32, src, dst uint16, payload []byte) {
+		if len(payload) > 1<<16 {
+			payload = payload[:1<<16]
+		}
+		tr := &Trace{Node: "f", Events: []Event{{
+			Time: time.Duration(dt), Dir: tcpsim.DirRecv, Remote: "r",
+			PayloadLen: len(payload),
+			Seg: tcpsim.Segment{SrcPort: src, DstPort: dst,
+				Flags: tcpsim.FlagACK, Seq: 1, Data: payload},
+		}}}
+		var buf bytes.Buffer
+		if err := tr.Encode(&buf); err != nil {
+			t.Fatal(err)
+		}
+		got, err := Decode(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got.Events) != 1 {
+			t.Fatalf("events = %d", len(got.Events))
+		}
+		e := got.Events[0]
+		if e.Time != time.Duration(dt) || e.Seg.SrcPort != src ||
+			e.Seg.DstPort != dst || !bytes.Equal(e.Seg.Data, payload) {
+			t.Fatalf("round trip mismatch: %+v", e)
+		}
+	})
+}

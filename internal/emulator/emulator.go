@@ -1,0 +1,468 @@
+// Package emulator is the measurement harness: the stand-in for the
+// paper's "in-house user search query emulator" deployed on PlanetLab.
+// It drives a vantage fleet against a deployment, captures client-side
+// packet traces (tcpdump style), and assembles datasets:
+//
+//   - Experiment A ("datasets A"): every node queries its default
+//     (DNS-nearest) FE server periodically.
+//   - Experiment B ("datasets B"): every node repeatedly queries one
+//     fixed FE server.
+//   - CachingProbe: the Section-3 methodology for detecting FE result
+//     caching — same-query vs distinct-query Tdynamic distributions.
+package emulator
+
+import (
+	"fmt"
+	"time"
+
+	"fesplit/internal/capture"
+	"fesplit/internal/cdn"
+	"fesplit/internal/frontend"
+	"fesplit/internal/geo"
+	"fesplit/internal/httpsim"
+	"fesplit/internal/simnet"
+	"fesplit/internal/tcpsim"
+	"fesplit/internal/vantage"
+	"fesplit/internal/workload"
+)
+
+// Record is one completed (or failed) search query issued by a node.
+type Record struct {
+	Node     simnet.HostID
+	FE       simnet.HostID
+	Query    workload.Query
+	IssuedAt time.Duration
+	DoneAt   time.Duration
+	// DNSTime is the resolution cost paid before the TCP connection
+	// opened (zero on client-cache hits, or when no resolver is
+	// configured).
+	DNSTime time.Duration
+	Status  int
+	BodyLen int
+	Body    []byte
+	Failed  bool
+	// Key locates the session's packet events inside the node's trace.
+	Key capture.ConnKey
+	// Events is the session's client-side packet event list, attached
+	// by Finalize.
+	Events []capture.Event
+}
+
+// OverallDelay is the user-perceived response time: first SYN to last
+// payload byte (paper Figure 8's quantity).
+func (r Record) OverallDelay() time.Duration { return r.DoneAt - r.IssuedAt }
+
+// Dataset is the output of one experiment.
+type Dataset struct {
+	Service    string
+	Experiment string
+	Records    []Record
+	// Traces holds each node's full packet trace.
+	Traces map[simnet.HostID]*capture.Trace
+	// FEFetchTimes is the per-FE ground-truth fetch-time series —
+	// unobservable in the real study, recorded here to validate the
+	// inference framework.
+	FEFetchTimes map[simnet.HostID][]time.Duration
+}
+
+// Runner owns one simulated world: a deployment, a vantage fleet, and a
+// client TCP endpoint + packet recorder per node.
+type Runner struct {
+	Sim   *simnet.Sim
+	Net   *simnet.Network
+	Dep   *cdn.Deployment
+	Fleet *vantage.Fleet
+
+	eps  map[simnet.HostID]*tcpsim.Endpoint
+	recs map[simnet.HostID]*capture.Recorder
+
+	clientTCP  tcpsim.Config
+	keepBodies bool
+}
+
+// Options configures a Runner.
+type Options struct {
+	// Nodes is the vantage fleet size (default 250).
+	Nodes int
+	// FleetSeed places the fleet; keep it equal across services so
+	// per-node comparisons (Figure 8) line up.
+	FleetSeed int64
+	// Access selects the fleet's last-mile profile (default campus).
+	Access vantage.AccessProfile
+	// ClientTCP overrides the client endpoints' TCP configuration.
+	ClientTCP tcpsim.Config
+	// SnapPayloads drops payload bytes at capture time (tcpdump
+	// snaplen): timeline analysis still works, content analysis does
+	// not. Required to keep paper-scale campaigns (250 nodes × 720
+	// repeats) within memory; derive the content boundary from a
+	// small unsnapped probe run instead.
+	SnapPayloads bool
+	// KeepBodies retains each response body on its Record. Off by
+	// default — bodies duplicate what the traces already carry.
+	KeepBodies bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.Nodes <= 0 {
+		o.Nodes = 250
+	}
+	if o.Access == (vantage.AccessProfile{}) {
+		o.Access = vantage.CampusProfile()
+	}
+	return o
+}
+
+// New builds a Runner: simulator, network, deployment and fleet.
+func New(simSeed int64, depCfg cdn.Config, opts Options) (*Runner, error) {
+	opts = opts.withDefaults()
+	sim := simnet.New(simSeed)
+	net := simnet.NewNetwork(sim)
+	dep, err := cdn.Build(net, depCfg)
+	if err != nil {
+		return nil, err
+	}
+	fleet := vantage.NewFleet(opts.Nodes, geo.WorldMetros(), opts.Access, opts.FleetSeed)
+	fleet.Wire(dep)
+	r := &Runner{
+		Sim:        sim,
+		Net:        net,
+		Dep:        dep,
+		Fleet:      fleet,
+		eps:        make(map[simnet.HostID]*tcpsim.Endpoint),
+		recs:       make(map[simnet.HostID]*capture.Recorder),
+		clientTCP:  opts.ClientTCP,
+		keepBodies: opts.KeepBodies,
+	}
+	for _, n := range fleet.Nodes {
+		ep := tcpsim.NewEndpoint(net, n.Host, r.clientTCP)
+		rec := capture.NewRecorder(string(n.Host))
+		rec.SnapPayload = opts.SnapPayloads
+		ep.Tap = rec.Tap
+		r.eps[n.Host] = ep
+		r.recs[n.Host] = rec
+	}
+	return r, nil
+}
+
+// Endpoint returns the client endpoint of a node.
+func (r *Runner) Endpoint(node simnet.HostID) *tcpsim.Endpoint { return r.eps[node] }
+
+// NearestNode returns the fleet node with the smallest RTT to the given
+// FE — the right vantage for content-boundary probes, whose static
+// portion must drain before the dynamic portion arrives.
+func (r *Runner) NearestNode(fe *frontend.Server) vantage.Node {
+	best := r.Fleet.Nodes[0]
+	for _, n := range r.Fleet.Nodes[1:] {
+		if r.Net.RTT(n.Host, fe.Host()) < r.Net.RTT(best.Host, fe.Host()) {
+			best = n
+		}
+	}
+	return best
+}
+
+// newDataset allocates a dataset shell for this runner.
+func (r *Runner) newDataset(experiment string) *Dataset {
+	return &Dataset{
+		Service:      r.Dep.Name,
+		Experiment:   experiment,
+		Traces:       make(map[simnet.HostID]*capture.Trace),
+		FEFetchTimes: make(map[simnet.HostID][]time.Duration),
+	}
+}
+
+// issueAt schedules one query from node to fe at virtual time at,
+// appending a Record to ds when the response completes.
+func (r *Runner) issueAt(ds *Dataset, at time.Duration, node vantage.Node,
+	fe *frontend.Server, q workload.Query) {
+	r.issueAtDNS(ds, at, node, fe, q, 0)
+}
+
+// issueAtDNS is issueAt with a DNS resolution cost recorded on the
+// record (the query was delayed by dnsTime before `at`).
+func (r *Runner) issueAtDNS(ds *Dataset, at time.Duration, node vantage.Node,
+	fe *frontend.Server, q workload.Query, dnsTime time.Duration) {
+	r.Sim.ScheduleAt(at, func() {
+		rec := Record{
+			Node:     node.Host,
+			FE:       fe.Host(),
+			Query:    q,
+			IssuedAt: r.Sim.Now(),
+			DNSTime:  dnsTime,
+			Failed:   true, // cleared on completion
+		}
+		idx := len(ds.Records)
+		ds.Records = append(ds.Records, rec)
+		req := httpsim.NewGet(r.Dep.Name, q.Path())
+		conn := httpsim.Get(r.eps[node.Host], fe.Host(), frontend.FEPort, req,
+			httpsim.ResponseCallbacks{
+				OnDone: func(resp *httpsim.Response) {
+					rr := &ds.Records[idx]
+					rr.Failed = false
+					rr.DoneAt = r.Sim.Now()
+					rr.Status = resp.Status
+					rr.BodyLen = len(resp.Body)
+					if r.keepBodies {
+						rr.Body = resp.Body
+					}
+				},
+			})
+		ds.Records[idx].Key = capture.ConnKey{
+			Remote:     string(fe.Host()),
+			LocalPort:  conn.LocalPort(),
+			RemotePort: frontend.FEPort,
+		}
+	})
+}
+
+// finalize runs the simulator to completion and attaches traces, session
+// events and FE ground truth to the dataset.
+func (r *Runner) finalize(ds *Dataset) *Dataset {
+	r.Sim.Run()
+	for host, rec := range r.recs {
+		ds.Traces[host] = rec.Trace()
+	}
+	// Split each node's trace into sessions once; records then attach
+	// by connection key.
+	sessionsByNode := make(map[simnet.HostID]map[capture.ConnKey][]capture.Event, len(ds.Traces))
+	for i := range ds.Records {
+		rr := &ds.Records[i]
+		sessions, ok := sessionsByNode[rr.Node]
+		if !ok {
+			tr, have := ds.Traces[rr.Node]
+			if !have {
+				continue
+			}
+			_, sessions = tr.Sessions()
+			sessionsByNode[rr.Node] = sessions
+		}
+		rr.Events = sessions[rr.Key]
+	}
+	for _, fe := range r.Dep.FEs {
+		ds.FEFetchTimes[fe.Host()] = fe.FetchTimes()
+	}
+	return ds
+}
+
+// FEResolver abstracts DNS-style client→FE resolution (implemented by
+// dns.Resolver). Resolve returns the FE to use for a client at point p
+// at virtual time now, plus the resolution cost the client pays first.
+type FEResolver interface {
+	Resolve(now time.Duration, client simnet.HostID, p geo.Point) (*frontend.Server, time.Duration)
+}
+
+// AOptions parameterize Experiment A.
+type AOptions struct {
+	// QueriesPerNode (default 20) and Interval (default 10 s, the
+	// paper's pacing).
+	QueriesPerNode int
+	Interval       time.Duration
+	// Queries is the shared query list; nodes cycle through it. When
+	// nil, a generated granular-class corpus is used.
+	Queries []workload.Query
+	// QuerySeed generates the default corpus.
+	QuerySeed int64
+	// Resolver, when set, replaces the idealized nearest-FE mapping
+	// with DNS-style resolution: per-lookup FE choice plus a
+	// resolution delay on cache misses (paper footnote 3).
+	Resolver FEResolver
+}
+
+func (o AOptions) withDefaults() AOptions {
+	if o.QueriesPerNode <= 0 {
+		o.QueriesPerNode = 20
+	}
+	if o.Interval <= 0 {
+		o.Interval = 10 * time.Second
+	}
+	return o
+}
+
+// RunExperimentA runs the default-FE experiment: every node sends the
+// shared query sequence to its DNS-default FE every Interval.
+func (r *Runner) RunExperimentA(opts AOptions) *Dataset {
+	opts = opts.withDefaults()
+	queries := opts.Queries
+	if len(queries) == 0 {
+		gen := workload.NewGenerator(opts.QuerySeed + 77)
+		queries = gen.Corpus(opts.QueriesPerNode, workload.ClassGranular)
+	}
+	ds := r.newDataset("A")
+	for i, node := range r.Fleet.Nodes {
+		node := node
+		defaultFE := r.Dep.DefaultFE(node.Point)
+		// Stagger node start times so the fleet doesn't fire in
+		// lockstep (PlanetLab nodes were never synchronized).
+		start := time.Duration(i%97) * 103 * time.Millisecond
+		for k := 0; k < opts.QueriesPerNode; k++ {
+			q := queries[k%len(queries)]
+			at := start + time.Duration(k)*opts.Interval
+			if opts.Resolver == nil {
+				r.issueAt(ds, at, node, defaultFE, q)
+				continue
+			}
+			// DNS resolution happens at query time; the GET follows
+			// after the lookup cost.
+			r.Sim.ScheduleAt(at, func() {
+				fe, cost := opts.Resolver.Resolve(r.Sim.Now(), node.Host, node.Point)
+				r.issueAtDNS(ds, r.Sim.Now()+cost, node, fe, q, cost)
+			})
+		}
+	}
+	return r.finalize(ds)
+}
+
+// RunKeepAliveA is the connection-reuse variant of Experiment A: each
+// node opens ONE persistent connection to its default FE and issues all
+// its queries over it with "Connection: keep-alive" (browser behavior).
+// The paper's emulator opens a fresh connection per query; comparing
+// the two quantifies the handshake + cold-window cost. Records carry
+// overall delays but no per-session packet events (the shared
+// connection's trace cannot be split per query).
+func (r *Runner) RunKeepAliveA(opts AOptions) *Dataset {
+	opts = opts.withDefaults()
+	queries := opts.Queries
+	if len(queries) == 0 {
+		gen := workload.NewGenerator(opts.QuerySeed + 77)
+		queries = gen.Corpus(opts.QueriesPerNode, workload.ClassGranular)
+	}
+	ds := r.newDataset("A-keepalive")
+	for i, node := range r.Fleet.Nodes {
+		node := node
+		fe := r.Dep.DefaultFE(node.Point)
+		pc := httpsim.NewPersistentConn(r.eps[node.Host], fe.Host(), frontend.FEPort)
+		start := time.Duration(i%97) * 103 * time.Millisecond
+		for k := 0; k < opts.QueriesPerNode; k++ {
+			q := queries[k%len(queries)]
+			at := start + time.Duration(k)*opts.Interval
+			r.Sim.ScheduleAt(at, func() {
+				rec := Record{
+					Node:     node.Host,
+					FE:       fe.Host(),
+					Query:    q,
+					IssuedAt: r.Sim.Now(),
+					Failed:   true,
+				}
+				idx := len(ds.Records)
+				ds.Records = append(ds.Records, rec)
+				req := httpsim.NewGet(r.Dep.Name, q.Path())
+				req.Header["Connection"] = "keep-alive"
+				pc.Do(req, httpsim.ResponseCallbacks{
+					OnDone: func(resp *httpsim.Response) {
+						rr := &ds.Records[idx]
+						rr.Failed = false
+						rr.DoneAt = r.Sim.Now()
+						rr.Status = resp.Status
+						rr.BodyLen = len(resp.Body)
+					},
+				})
+			})
+		}
+	}
+	r.Sim.Run()
+	for _, fe := range r.Dep.FEs {
+		ds.FEFetchTimes[fe.Host()] = fe.FetchTimes()
+	}
+	return ds
+}
+
+// BOptions parameterize Experiment B.
+type BOptions struct {
+	// FE is the fixed front-end server every node queries.
+	FE *frontend.Server
+	// Repeats per node (paper: 720) and Interval between repeats.
+	Repeats  int
+	Interval time.Duration
+	// Query is the single repeated query. Zero value → a generated
+	// granular query.
+	Query workload.Query
+	// QuerySeed generates the default query.
+	QuerySeed int64
+}
+
+func (o BOptions) withDefaults() BOptions {
+	if o.Repeats <= 0 {
+		o.Repeats = 720
+	}
+	if o.Interval <= 0 {
+		o.Interval = 10 * time.Second
+	}
+	return o
+}
+
+// RunExperimentB runs the fixed-FE experiment: all nodes repeatedly
+// query one FE server, whatever their distance to it.
+func (r *Runner) RunExperimentB(opts BOptions) (*Dataset, error) {
+	opts = opts.withDefaults()
+	if opts.FE == nil {
+		return nil, fmt.Errorf("emulator: experiment B needs a fixed FE")
+	}
+	q := opts.Query
+	if q.Keywords == "" {
+		gen := workload.NewGenerator(opts.QuerySeed + 177)
+		q = gen.Query(workload.ClassGranular)
+	}
+	ds := r.newDataset("B")
+	for i, node := range r.Fleet.Nodes {
+		start := time.Duration(i%97) * 103 * time.Millisecond
+		for k := 0; k < opts.Repeats; k++ {
+			r.issueAt(ds, start+time.Duration(k)*opts.Interval, node, opts.FE, q)
+		}
+	}
+	return r.finalize(ds), nil
+}
+
+// KeywordSweep runs the Figure-3 experiment: one node, one fixed FE,
+// sequential sample queries per keyword class.
+func (r *Runner) KeywordSweep(fe *frontend.Server, node vantage.Node,
+	samplesPerClass int, interval time.Duration, querySeed int64) map[workload.Class]*Dataset {
+	out := make(map[workload.Class]*Dataset)
+	gen := workload.NewGenerator(querySeed)
+	// Interleave classes in time so slow drift affects all equally.
+	for ci, class := range workload.Classes() {
+		ds := r.newDataset(fmt.Sprintf("fig3-%s", class))
+		q := gen.Query(class)
+		for k := 0; k < samplesPerClass; k++ {
+			at := time.Duration(k)*interval + time.Duration(ci)*(interval/8)
+			r.issueAt(ds, at, node, fe, q)
+		}
+		out[class] = ds
+	}
+	r.Sim.Run()
+	for _, ds := range out {
+		r.finalize(ds)
+	}
+	return out
+}
+
+// CachingProbe runs the Section-3 caching-detection methodology against
+// a fixed FE: phase 1 has every node submit the SAME query; phase 2 has
+// every node submit a DIFFERENT query. If FEs (or BEs) cached results,
+// phase 1's Tdynamic would collapse; the paper observed no difference.
+func (r *Runner) CachingProbe(fe *frontend.Server, repeats int,
+	interval time.Duration, querySeed int64) (same, distinct *Dataset) {
+	gen := workload.NewGenerator(querySeed)
+	// Draw the shared query from the same pool as the distinct ones so
+	// the phases have identical term counts and popularity bands —
+	// any Tdynamic difference then isolates result caching.
+	pool := gen.DistinctQueries(len(r.Fleet.Nodes)*repeats + 1)
+	shared, distinctQs := pool[0], pool[1:]
+
+	same = r.newDataset("caching-same")
+	distinct = r.newDataset("caching-distinct")
+	di := 0
+	for i, node := range r.Fleet.Nodes {
+		start := time.Duration(i%97) * 103 * time.Millisecond
+		for k := 0; k < repeats; k++ {
+			at := start + time.Duration(k)*interval
+			// Interleave the phases so slowly varying server load
+			// affects both equally.
+			r.issueAt(same, at, node, fe, shared)
+			r.issueAt(distinct, at+interval/2, node, fe, distinctQs[di])
+			di++
+		}
+	}
+	r.Sim.Run()
+	r.finalize(same)
+	r.finalize(distinct)
+	return same, distinct
+}

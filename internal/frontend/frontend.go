@@ -1,0 +1,343 @@
+// Package frontend models a front-end (FE) server — the paper's "proxy
+// at the edge of the cloud". It plays exactly the two roles the paper
+// identifies:
+//
+//  1. It caches the static portion of the search result page and flushes
+//     it to the client immediately upon receiving a request, and
+//  2. it splits the TCP connection: the client-facing connection
+//     terminates here, while the query is forwarded to a back-end data
+//     center over a persistent, pre-warmed connection, eliminating
+//     slow-start ramp-up on the long FE↔BE leg.
+//
+// The server records the ground-truth FE↔BE fetch time of every query —
+// the quantity the paper's end-host inference framework can only bound
+// (T_delta ≤ T_fetch ≤ T_dynamic). Tests use it to validate those
+// bounds against hidden truth.
+package frontend
+
+import (
+	"math/rand"
+	"time"
+
+	"fesplit/internal/backend"
+	"fesplit/internal/geo"
+	"fesplit/internal/httpsim"
+	"fesplit/internal/simnet"
+	"fesplit/internal/stats"
+	"fesplit/internal/tcpsim"
+)
+
+// FEPort is the HTTP port front-end servers listen on (client-facing).
+const FEPort = 80
+
+// LoadModel describes FE request-processing delay. Akamai-like shared
+// CDN nodes carry many tenants and show higher, more variable delays;
+// dedicated Google-like FEs are faster and steadier (the paper's
+// speculation for Bing's higher, noisier Tstatic).
+type LoadModel struct {
+	// Mean is the average per-request processing delay.
+	Mean time.Duration
+	// CV is the lognormal coefficient of variation per request.
+	CV float64
+	// Amplitude scales a slowly varying AR(1) load term, like the
+	// back-end's.
+	Amplitude float64
+}
+
+// Sample draws one request's processing delay given the current load
+// value (clamped AR(1) output).
+func (m LoadModel) Sample(load float64, rng *rand.Rand) time.Duration {
+	mean := float64(m.Mean) * (1 + m.Amplitude*load)
+	if mean < float64(100*time.Microsecond) {
+		mean = float64(100 * time.Microsecond)
+	}
+	if m.CV <= 0 {
+		return time.Duration(mean)
+	}
+	return time.Duration(stats.LogNormalFromMeanCV(mean, m.CV).Draw(rng))
+}
+
+// DedicatedLoadModel models a service-owned FE (Google-like).
+func DedicatedLoadModel() LoadModel {
+	return LoadModel{Mean: 12 * time.Millisecond, CV: 0.15, Amplitude: 0.05}
+}
+
+// SharedCDNLoadModel models a multi-tenant CDN FE (Akamai/Bing-like).
+func SharedCDNLoadModel() LoadModel {
+	return LoadModel{Mean: 35 * time.Millisecond, CV: 0.5, Amplitude: 0.4}
+}
+
+// Server is one FE server instance.
+type Server struct {
+	host   simnet.HostID
+	site   geo.Site
+	ep     *tcpsim.Endpoint
+	static []byte
+	beHost simnet.HostID
+
+	loadModel LoadModel
+	load      stats.AR1
+	loadTick  time.Duration
+	lastLoad  time.Duration
+	rng       *rand.Rand
+
+	idle []*httpsim.PersistentConn
+
+	// SplitTCP can be disabled for the ablation baseline: the FE then
+	// opens a fresh BE connection per query instead of reusing
+	// persistent ones.
+	splitTCP bool
+
+	// worker-pool state (Config.Workers > 0)
+	workers int
+	busy    int
+	queue   []feJob
+
+	gzip bool
+
+	served      int
+	fetchTimes  []time.Duration
+	dialedConns int
+	maxQueue    int
+}
+
+type feJob struct {
+	service time.Duration
+	run     func()
+}
+
+// Config assembles a Server.
+type Config struct {
+	Host   simnet.HostID
+	Site   geo.Site
+	BEHost simnet.HostID
+	// Static is the cached static content prefix served to every
+	// client immediately.
+	Static []byte
+	// Load is the FE processing-delay model.
+	Load LoadModel
+	// LoadTick is the AR(1) advance period (default 500 ms).
+	LoadTick time.Duration
+	// DisableSplitTCP makes the FE dial a fresh BE connection per
+	// query (ablation A1's "no persistent connection" variant).
+	DisableSplitTCP bool
+	// Workers bounds concurrent request processing at the FE; excess
+	// requests queue FIFO before their static flush, so a busy shared
+	// CDN node inflates Tstatic mechanistically. 0 = unlimited
+	// (load is modeled statistically via LoadModel only).
+	Workers int
+	// Gzip serves compressed responses: the cached static prefix and
+	// the fetched dynamic portion are sent as two concatenated gzip
+	// members (multi-member streams decompress transparently), so the
+	// compressed static bytes stay identical across queries and the
+	// cross-query content analysis keeps working on the wire bytes —
+	// as it did for the paper against the real gzipped services.
+	Gzip bool
+	// Seed drives the FE's local randomness.
+	Seed int64
+	// TCP overrides the endpoint TCP configuration (zero = defaults).
+	TCP tcpsim.Config
+}
+
+// New attaches a front-end server to the network.
+func New(n *simnet.Network, cfg Config) (*Server, error) {
+	fe := &Server{
+		host:      cfg.Host,
+		site:      cfg.Site,
+		static:    cfg.Static,
+		beHost:    cfg.BEHost,
+		loadModel: cfg.Load,
+		loadTick:  cfg.LoadTick,
+		rng:       stats.NewRand(cfg.Seed),
+		splitTCP:  !cfg.DisableSplitTCP,
+		workers:   cfg.Workers,
+		gzip:      cfg.Gzip,
+	}
+	if fe.gzip {
+		fe.static = GzipMember(cfg.Static)
+	}
+	if fe.loadTick <= 0 {
+		fe.loadTick = 500 * time.Millisecond
+	}
+	fe.load = stats.AR1{Phi: 0.9, Sigma: 0.3}
+	fe.ep = tcpsim.NewEndpoint(n, cfg.Host, cfg.TCP)
+	if _, err := httpsim.NewServer(fe.ep, FEPort, fe.handle); err != nil {
+		return nil, err
+	}
+	return fe, nil
+}
+
+// Host returns the FE's network host ID.
+func (fe *Server) Host() simnet.HostID { return fe.host }
+
+// Site returns the FE's geographic site.
+func (fe *Server) Site() geo.Site { return fe.site }
+
+// Endpoint exposes the FE's TCP endpoint (for taps in tests).
+func (fe *Server) Endpoint() *tcpsim.Endpoint { return fe.ep }
+
+// Served returns the number of requests handled.
+func (fe *Server) Served() int { return fe.served }
+
+// FetchTimes returns the ground-truth FE↔BE fetch time of each served
+// query, in arrival order: the time from receiving the client's GET to
+// receiving the complete dynamic portion from the back-end. This is the
+// directly-unobservable quantity the paper bounds from end-host
+// measurements.
+func (fe *Server) FetchTimes() []time.Duration {
+	out := make([]time.Duration, len(fe.fetchTimes))
+	copy(out, fe.fetchTimes)
+	return out
+}
+
+// DialedBEConns counts distinct BE connections opened (1 per query flow
+// when split TCP is disabled; far fewer with the persistent pool).
+func (fe *Server) DialedBEConns() int { return fe.dialedConns }
+
+func (fe *Server) currentLoad() float64 {
+	now := fe.ep.Sim().Now()
+	for fe.lastLoad+fe.loadTick <= now {
+		fe.lastLoad += fe.loadTick
+		fe.load.Next(fe.rng)
+	}
+	v := fe.load.Value()
+	if v > 1 {
+		v = 1
+	}
+	if v < -1 {
+		v = -1
+	}
+	return v
+}
+
+// getConn returns a back-end connection: a pooled persistent one under
+// split TCP, or a fresh dial otherwise.
+func (fe *Server) getConn() *httpsim.PersistentConn {
+	if fe.splitTCP {
+		for len(fe.idle) > 0 {
+			pc := fe.idle[len(fe.idle)-1]
+			fe.idle = fe.idle[:len(fe.idle)-1]
+			return pc
+		}
+	}
+	fe.dialedConns++
+	return httpsim.NewPersistentConn(fe.ep, fe.beHost, backend.BEPort)
+}
+
+func (fe *Server) putConn(pc *httpsim.PersistentConn) {
+	if fe.splitTCP {
+		fe.idle = append(fe.idle, pc)
+	} else {
+		pc.Close()
+	}
+}
+
+// Prewarm opens n persistent BE connections ahead of traffic, as real
+// proxies do. No-op when split TCP is disabled.
+func (fe *Server) Prewarm(n int) {
+	if !fe.splitTCP {
+		return
+	}
+	for i := 0; i < n; i++ {
+		fe.dialedConns++
+		fe.idle = append(fe.idle, httpsim.NewPersistentConn(fe.ep, fe.beHost, backend.BEPort))
+	}
+}
+
+// runJob occupies an FE worker for the service time, then runs done.
+// Unbounded pools run immediately.
+func (fe *Server) runJob(service time.Duration, done func()) {
+	if fe.workers > 0 && fe.busy >= fe.workers {
+		fe.queue = append(fe.queue, feJob{service: service, run: done})
+		if len(fe.queue) > fe.maxQueue {
+			fe.maxQueue = len(fe.queue)
+		}
+		return
+	}
+	fe.startJob(service, done)
+}
+
+func (fe *Server) startJob(service time.Duration, done func()) {
+	fe.busy++
+	fe.ep.Sim().Schedule(service, func() {
+		done()
+		fe.busy--
+		if len(fe.queue) > 0 {
+			next := fe.queue[0]
+			fe.queue = fe.queue[1:]
+			fe.startJob(next.service, next.run)
+		}
+	})
+}
+
+// MaxQueueLen returns the deepest request backlog observed.
+func (fe *Server) MaxQueueLen() int { return fe.maxQueue }
+
+// handle serves one client search request: flush the cached static
+// prefix after the FE processing delay, and in parallel fetch the
+// dynamic portion from the back-end over a (persistent) split
+// connection.
+//
+// Clients sending "Connection: keep-alive" get a chunked response and
+// the connection stays open for further queries (browser behavior); the
+// default is the paper's one-query-per-connection close framing.
+func (fe *Server) handle(w *httpsim.ResponseWriter, r *httpsim.Request) {
+	fe.served++
+	sim := fe.ep.Sim()
+	arrived := sim.Now()
+	keepAlive := r.Header["Connection"] == "keep-alive"
+
+	staticWritten := false
+	var pendingDynamic []byte
+	done := false
+
+	finish := func() {
+		if done {
+			return
+		}
+		done = true
+		w.Write(pendingDynamic)
+		w.End()
+	}
+
+	// Role 1: cached static portion, delivered after FE processing.
+	// With a bounded worker pool, the request waits for a free worker
+	// first — queueing under overload inflates Tstatic.
+	feDelay := fe.loadModel.Sample(fe.currentLoad(), fe.rng)
+	fe.runJob(feDelay, func() {
+		if keepAlive {
+			w.WriteHeader(200, httpsim.ChunkedHeader())
+		} else {
+			w.WriteHeader(200, httpsim.Header{}) // close-framed
+		}
+		w.Write(fe.static)
+		staticWritten = true
+		if pendingDynamic != nil {
+			finish()
+		}
+	})
+
+	// Role 2: split-TCP fetch of the dynamic portion, forwarded
+	// immediately (not waiting for the FE delay — proxies pipeline).
+	pc := fe.getConn()
+	pc.Do(&httpsim.Request{Method: "GET", Path: r.Path, Host: r.Host}, httpsim.ResponseCallbacks{
+		OnDone: func(resp *httpsim.Response) {
+			fe.fetchTimes = append(fe.fetchTimes, sim.Now()-arrived)
+			fe.putConn(pc)
+			pendingDynamic = resp.Body
+			if fe.gzip {
+				pendingDynamic = GzipMember(resp.Body)
+			}
+			if staticWritten {
+				finish()
+			}
+		},
+		OnError: func(error) {
+			// BE unreachable: end the response after the static part.
+			pendingDynamic = []byte{}
+			if staticWritten {
+				finish()
+			}
+		},
+	})
+}

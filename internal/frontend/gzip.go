@@ -1,0 +1,38 @@
+package frontend
+
+import (
+	"bytes"
+	"compress/gzip"
+	"io"
+)
+
+// GzipMember compresses data as one self-contained gzip member.
+// Deterministic: no timestamps or names are embedded, so equal inputs
+// produce equal compressed bytes — the property that keeps cross-query
+// content analysis valid on compressed wire data.
+func GzipMember(data []byte) []byte {
+	var buf bytes.Buffer
+	zw, err := gzip.NewWriterLevel(&buf, gzip.BestSpeed)
+	if err != nil {
+		panic("frontend: gzip writer: " + err.Error()) // level is constant-valid
+	}
+	if _, err := zw.Write(data); err != nil {
+		panic("frontend: gzip write: " + err.Error()) // bytes.Buffer cannot fail
+	}
+	if err := zw.Close(); err != nil {
+		panic("frontend: gzip close: " + err.Error())
+	}
+	return buf.Bytes()
+}
+
+// GunzipAll decompresses a stream of one or more concatenated gzip
+// members (the FE sends static and dynamic portions as two members).
+func GunzipAll(data []byte) ([]byte, error) {
+	zr, err := gzip.NewReader(bytes.NewReader(data))
+	if err != nil {
+		return nil, err
+	}
+	defer zr.Close()
+	zr.Multistream(true)
+	return io.ReadAll(zr)
+}

@@ -1,0 +1,97 @@
+package geo
+
+// Curated location tables. The paper obtained Bing and Google data-center
+// locations from public listings ([1,2] in the paper); these tables carry
+// the sites it names (Bing Virginia, Google Lenoir NC) plus enough
+// additional metro areas to place a realistic FE fleet and a
+// PlanetLab-like vantage fleet. Coordinates are city centroids.
+
+// BingBEsites returns back-end data-center sites for the Bing-like
+// deployment. The paper's Figure 9 uses the Virginia data center.
+func BingBEs() []Site {
+	return []Site{
+		{Name: "bing-be-virginia", Point: Point{Lat: 39.0438, Lon: -77.4874}},   // Ashburn, VA
+		{Name: "bing-be-chicago", Point: Point{Lat: 41.8781, Lon: -87.6298}},    // Chicago, IL
+		{Name: "bing-be-sanantonio", Point: Point{Lat: 29.4241, Lon: -98.4936}}, // San Antonio, TX
+		{Name: "bing-be-quincy", Point: Point{Lat: 47.2343, Lon: -119.8526}},    // Quincy, WA
+	}
+}
+
+// GoogleBEs returns back-end data-center sites for the Google-like
+// deployment. The paper's Figure 9 uses the Lenoir, NC data center.
+func GoogleBEs() []Site {
+	return []Site{
+		{Name: "google-be-lenoir", Point: Point{Lat: 35.9140, Lon: -81.5390}},        // Lenoir, NC
+		{Name: "google-be-dalles", Point: Point{Lat: 45.5946, Lon: -121.1787}},       // The Dalles, OR
+		{Name: "google-be-councilbluffs", Point: Point{Lat: 41.2619, Lon: -95.8608}}, // Council Bluffs, IA
+		{Name: "google-be-berkeley", Point: Point{Lat: 33.1960, Lon: -80.0131}},      // Berkeley County, SC
+	}
+}
+
+// usMetros is the pool of metro areas used to synthesize FE fleets and
+// vantage points. Most PlanetLab nodes sit in university networks, so
+// vantage sampling is biased toward these metros with small jitter.
+var usMetros = []Site{
+	{"metro-newyork", Point{40.7128, -74.0060}},
+	{"metro-losangeles", Point{34.0522, -118.2437}},
+	{"metro-chicago", Point{41.8781, -87.6298}},
+	{"metro-houston", Point{29.7604, -95.3698}},
+	{"metro-phoenix", Point{33.4484, -112.0740}},
+	{"metro-philadelphia", Point{39.9526, -75.1652}},
+	{"metro-seattle", Point{47.6062, -122.3321}},
+	{"metro-denver", Point{39.7392, -104.9903}},
+	{"metro-boston", Point{42.3601, -71.0589}},
+	{"metro-atlanta", Point{33.7490, -84.3880}},
+	{"metro-miami", Point{25.7617, -80.1918}},
+	{"metro-dallas", Point{32.7767, -96.7970}},
+	{"metro-sanfrancisco", Point{37.7749, -122.4194}},
+	{"metro-minneapolis", Point{44.9778, -93.2650}},
+	{"metro-stlouis", Point{38.6270, -90.1994}},
+	{"metro-saltlake", Point{40.7608, -111.8910}},
+	{"metro-pittsburgh", Point{40.4406, -79.9959}},
+	{"metro-portland", Point{45.5152, -122.6784}},
+	{"metro-kansascity", Point{39.0997, -94.5786}},
+	{"metro-raleigh", Point{35.7796, -78.6382}},
+	{"metro-columbus", Point{39.9612, -82.9988}},
+	{"metro-detroit", Point{42.3314, -83.0458}},
+	{"metro-nashville", Point{36.1627, -86.7816}},
+	{"metro-austin", Point{30.2672, -97.7431}},
+	{"metro-madison", Point{43.0731, -89.4012}},
+	{"metro-annarbor", Point{42.2808, -83.7430}},
+	{"metro-urbana", Point{40.1106, -88.2073}},
+	{"metro-princeton", Point{40.3431, -74.6551}},
+	{"metro-ithaca", Point{42.4440, -76.5019}},
+	{"metro-berkeley", Point{37.8715, -122.2730}},
+}
+
+// worldMetros extends the pool with international PlanetLab-heavy sites;
+// the paper's vantage points are "globally distributed".
+var worldMetros = []Site{
+	{"metro-london", Point{51.5074, -0.1278}},
+	{"metro-paris", Point{48.8566, 2.3522}},
+	{"metro-berlin", Point{52.5200, 13.4050}},
+	{"metro-zurich", Point{47.3769, 8.5417}},
+	{"metro-madrid", Point{40.4168, -3.7038}},
+	{"metro-tokyo", Point{35.6762, 139.6503}},
+	{"metro-seoul", Point{37.5665, 126.9780}},
+	{"metro-singapore", Point{1.3521, 103.8198}},
+	{"metro-sydney", Point{-33.8688, 151.2093}},
+	{"metro-saopaulo", Point{-23.5505, -46.6333}},
+	{"metro-toronto", Point{43.6532, -79.3832}},
+	{"metro-vancouver", Point{49.2827, -123.1207}},
+}
+
+// USMetros returns a copy of the US metro pool.
+func USMetros() []Site {
+	out := make([]Site, len(usMetros))
+	copy(out, usMetros)
+	return out
+}
+
+// WorldMetros returns a copy of the combined US + international pool.
+func WorldMetros() []Site {
+	out := make([]Site, 0, len(usMetros)+len(worldMetros))
+	out = append(out, usMetros...)
+	out = append(out, worldMetros...)
+	return out
+}

@@ -1,0 +1,149 @@
+package livenet
+
+import (
+	"bufio"
+	"net"
+	"time"
+
+	"fesplit/internal/workload"
+)
+
+// Chunk is one application-level read with its arrival timestamp:
+// livenet's stand-in for a packet arrival (the client cannot capture
+// packets, but read boundaries on a streaming connection approximate
+// them — this is exactly what application-layer measurement sees).
+type Chunk struct {
+	Offset int // body-stream offset of the first byte
+	Len    int
+	At     time.Duration // since the query was issued
+}
+
+// QueryResult is one measured live query.
+type QueryResult struct {
+	Query  workload.Query
+	Body   []byte
+	Chunks []Chunk
+	// ConnectRTT is the TCP connect time — loopback, so microseconds;
+	// the emulated RTT is 2× the FE's injected one-way delay.
+	ConnectRTT time.Duration
+	// Total is issue→last byte.
+	Total time.Duration
+}
+
+// RunQuery issues one search query against a live FE and timestamps
+// every read.
+func RunQuery(feAddr string, q workload.Query) (*QueryResult, error) {
+	t0 := time.Now()
+	conn, err := net.Dial("tcp", feAddr)
+	if err != nil {
+		return nil, err
+	}
+	defer conn.Close()
+	res := &QueryResult{Query: q, ConnectRTT: time.Since(t0)}
+
+	issued := time.Now()
+	writeRequest(&rawWriter{conn}, "live", q.Path())
+
+	br := bufio.NewReader(conn)
+	if err := readResponseHeader(br); err != nil {
+		return nil, err
+	}
+	buf := make([]byte, 32<<10)
+	off := 0
+	for {
+		n, err := br.Read(buf)
+		if n > 0 {
+			res.Chunks = append(res.Chunks, Chunk{
+				Offset: off, Len: n, At: time.Since(issued),
+			})
+			res.Body = append(res.Body, buf[:n]...)
+			off += n
+		}
+		if err != nil {
+			break // EOF terminates the close-framed response
+		}
+	}
+	res.Total = time.Since(issued)
+	return res, nil
+}
+
+// rawWriter adapts a net.Conn to the delayedWriter interface shape used
+// by writeRequest (no client-side delay injection; the FE injects both
+// directions).
+type rawWriter struct{ conn net.Conn }
+
+// Write forwards immediately.
+func (w *rawWriter) Write(data []byte) { w.conn.Write(data) }
+
+// Timing is the live analog of the trace-derived session parameters.
+// T2 is not observable without packet capture, so Tstatic/Tdynamic are
+// referenced to the issue time plus the *emulated* RTT, which the
+// caller knows (it configured the FE's injected delay).
+type Timing struct {
+	T3, T4, T5, TE time.Duration
+	Tdelta         time.Duration
+	// TdynamicFromIssue is t5 measured from the GET write; subtract
+	// the emulated RTT for the paper's t5−t2.
+	TdynamicFromIssue time.Duration
+}
+
+// SnapBoundary reconciles a byte-level content boundary (LCP across
+// distinct-query bodies, which may overshoot into shared dynamic
+// templating) with the transport reality: the largest chunk-arrival
+// edge at or below it, across all results. The live counterpart of the
+// trace package's packet-edge snapping.
+func SnapBoundary(results []*QueryResult, lcp int) int {
+	best := 0
+	for _, res := range results {
+		for _, c := range res.Chunks {
+			if c.Offset <= lcp && c.Offset > best {
+				best = c.Offset
+			}
+		}
+	}
+	if best == 0 {
+		return lcp
+	}
+	return best
+}
+
+// ExtractTiming locates the static/dynamic boundary (body offset) in
+// the chunk arrivals, mirroring trace.Session.Locate.
+func ExtractTiming(res *QueryResult, boundary int) (Timing, bool) {
+	if boundary <= 0 || boundary >= len(res.Body) {
+		return Timing{}, false
+	}
+	var tm Timing
+	seenT4, seenT5 := false, false
+	for i, c := range res.Chunks {
+		if i == 0 {
+			tm.T3 = c.At
+		}
+		if !seenT4 && c.Offset < boundary && c.Offset+c.Len >= boundary {
+			tm.T4 = c.At
+			seenT4 = true
+			if c.Offset+c.Len > boundary {
+				// Boundary inside this chunk: coalesced.
+				tm.T5 = c.At
+				seenT5 = true
+			}
+		}
+		if !seenT5 && c.Offset >= boundary {
+			tm.T5 = c.At
+			seenT5 = true
+		}
+		tm.TE = c.At
+	}
+	if !seenT4 || !seenT5 {
+		return Timing{}, false
+	}
+	tm.Tdelta = tm.T5 - tm.T4
+	tm.TdynamicFromIssue = tm.T5
+	return tm, true
+}
+
+// Compile-time interface checks.
+var (
+	_ reqWriter = (*rawWriter)(nil)
+	_ reqWriter = (*delayedWriter)(nil)
+)

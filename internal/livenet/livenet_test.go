@@ -1,0 +1,207 @@
+package livenet
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"fesplit/internal/analysis"
+	"fesplit/internal/core"
+	"fesplit/internal/workload"
+)
+
+// liveRig starts a BE+FE pair with deterministic timing.
+func liveRig(t *testing.T, proc, feDelay, oneWay time.Duration) (*BEServer, *FEServer) {
+	t.Helper()
+	spec := workload.DefaultContentSpec("live")
+	be, err := StartBE(spec, workload.CostModel{Base: proc}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fe, err := StartFE(be.Addr(), spec.StaticPrefix(), feDelay, oneWay)
+	if err != nil {
+		be.Close()
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { fe.Close(); be.Close() })
+	return be, fe
+}
+
+func query(id int, kw string) workload.Query {
+	return workload.Query{ID: id, Class: workload.ClassGranular,
+		Keywords: kw, Terms: len(bytes.Fields([]byte(kw))), Rank: 999}
+}
+
+func TestLiveQueryEndToEnd(t *testing.T) {
+	spec := workload.DefaultContentSpec("live")
+	be, fe := liveRig(t, 80*time.Millisecond, 10*time.Millisecond, 5*time.Millisecond)
+	res, err := RunQuery(fe.Addr(), query(1, "computer science"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.HasPrefix(res.Body, spec.StaticPrefix()) {
+		t.Fatal("live response does not start with the static prefix")
+	}
+	if !bytes.Contains(res.Body, []byte("computer science")) {
+		t.Fatal("dynamic portion missing keywords")
+	}
+	if be.Served() != 1 || fe.Served() != 1 {
+		t.Fatalf("served: be=%d fe=%d", be.Served(), fe.Served())
+	}
+	if len(res.Chunks) < 2 {
+		t.Fatalf("chunks = %d, want streamed arrival", len(res.Chunks))
+	}
+	// Ground-truth fetch ≈ proc (loopback FE↔BE), recorded at the FE.
+	fts := fe.FetchTimes()
+	if len(fts) != 1 {
+		t.Fatalf("fetch samples = %d", len(fts))
+	}
+	if fts[0] < 75*time.Millisecond || fts[0] > 150*time.Millisecond {
+		t.Fatalf("live fetch = %v, want ≈80ms", fts[0])
+	}
+}
+
+func TestLiveStaticArrivesBeforeDynamic(t *testing.T) {
+	spec := workload.DefaultContentSpec("live")
+	_, fe := liveRig(t, 150*time.Millisecond, 10*time.Millisecond, 5*time.Millisecond)
+	res, err := RunQuery(fe.Addr(), query(2, "weather minneapolis"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	boundary := len(spec.StaticPrefix())
+	tm, ok := ExtractTiming(res, boundary)
+	if !ok {
+		t.Fatalf("timing extraction failed: %d chunks, %d bytes", len(res.Chunks), len(res.Body))
+	}
+	// The static flush (~15ms+delay) precedes the dynamic by roughly
+	// the processing time.
+	if tm.Tdelta < 80*time.Millisecond {
+		t.Fatalf("live Tdelta = %v, want ≥80ms (proc 150ms)", tm.Tdelta)
+	}
+	if tm.T3 > 60*time.Millisecond {
+		t.Fatalf("static flush too late: T3 = %v", tm.T3)
+	}
+	if tm.TE < tm.T5 || tm.T5 < tm.T4 || tm.T4 < tm.T3 {
+		t.Fatalf("timeline out of order: %+v", tm)
+	}
+}
+
+func TestLiveContentAnalysisFindsBoundary(t *testing.T) {
+	// The same cross-query LCP methodology as the simulator's.
+	spec := workload.DefaultContentSpec("live")
+	_, fe := liveRig(t, 40*time.Millisecond, 5*time.Millisecond, 2*time.Millisecond)
+	var payloads [][]byte
+	for i, kw := range []string{"alpha bravo", "charlie delta echo", "foxtrot golf"} {
+		res, err := RunQuery(fe.Addr(), query(10+i, kw))
+		if err != nil {
+			t.Fatal(err)
+		}
+		payloads = append(payloads, res.Body)
+	}
+	lcp := analysis.StaticBoundary(payloads)
+	want := len(spec.StaticPrefix())
+	// The LCP may overshoot slightly into shared dynamic templating,
+	// exactly as in the simulated pipeline.
+	if lcp < want || lcp > want+128 {
+		t.Fatalf("live content boundary = %d, want ≈%d", lcp, want)
+	}
+}
+
+// TestLiveMatchesAnalyticModel cross-validates the real-socket backend
+// against the paper's analytic model: same inputs, the service-level
+// gaps must agree within scheduling tolerance.
+func TestLiveMatchesAnalyticModel(t *testing.T) {
+	const (
+		proc    = 120 * time.Millisecond
+		feDelay = 15 * time.Millisecond
+		oneWay  = 10 * time.Millisecond // emulated RTT 20ms
+	)
+	spec := workload.DefaultContentSpec("live")
+	_, fe := liveRig(t, proc, feDelay, oneWay)
+	q := query(42, "model check")
+	res, err := RunQuery(fe.Addr(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	boundary := len(spec.StaticPrefix())
+	tm, ok := ExtractTiming(res, boundary)
+	if !ok {
+		t.Fatal("timing extraction failed")
+	}
+	fts := fe.FetchTimes()
+	if len(fts) != 1 {
+		t.Fatalf("fetch samples = %d", len(fts))
+	}
+	pred, err := core.Predict(core.Inputs{
+		RTT:          2 * oneWay,
+		FEDelay:      feDelay,
+		Fetch:        fts[0],
+		StaticBytes:  boundary,
+		DynamicBytes: len(res.Body) - boundary,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Compare Tdelta: live measures t5−t4 directly; the model's
+	// counterpart. Loopback has no window rounds, so allow generous
+	// tolerance (±35ms) for scheduler jitter.
+	diff := tm.Tdelta - pred.Tdelta()
+	if diff < 0 {
+		diff = -diff
+	}
+	if diff > 35*time.Millisecond {
+		t.Fatalf("live Tdelta %v vs model %v (diff %v)", tm.Tdelta, pred.Tdelta(), diff)
+	}
+}
+
+func TestLiveConcurrentClients(t *testing.T) {
+	_, fe := liveRig(t, 50*time.Millisecond, 5*time.Millisecond, 2*time.Millisecond)
+	const n = 8
+	errs := make(chan error, n)
+	for i := 0; i < n; i++ {
+		i := i
+		go func() {
+			_, err := RunQuery(fe.Addr(), query(100+i, "concurrent load"))
+			errs <- err
+		}()
+	}
+	for i := 0; i < n; i++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+	if fe.Served() != n {
+		t.Fatalf("served = %d", fe.Served())
+	}
+}
+
+func TestExtractTimingEdgeCases(t *testing.T) {
+	res := &QueryResult{Body: []byte("abcdef"), Chunks: []Chunk{
+		{Offset: 0, Len: 6, At: time.Millisecond},
+	}}
+	// Boundary inside the single chunk → coalesced, Tdelta 0.
+	tm, ok := ExtractTiming(res, 3)
+	if !ok || tm.Tdelta != 0 {
+		t.Fatalf("coalesced: ok=%v tm=%+v", ok, tm)
+	}
+	if _, ok := ExtractTiming(res, 0); ok {
+		t.Fatal("boundary 0 accepted")
+	}
+	if _, ok := ExtractTiming(res, 6); ok {
+		t.Fatal("boundary at end accepted")
+	}
+}
+
+func TestSnapBoundary(t *testing.T) {
+	results := []*QueryResult{
+		{Chunks: []Chunk{{Offset: 0, Len: 8192}, {Offset: 8192, Len: 100}}},
+		{Chunks: []Chunk{{Offset: 0, Len: 5000}, {Offset: 5000, Len: 3292}}},
+	}
+	if got := SnapBoundary(results, 8219); got != 8192 {
+		t.Fatalf("snap = %d, want 8192", got)
+	}
+	// No edge below: fall back to the LCP itself.
+	if got := SnapBoundary(nil, 77); got != 77 {
+		t.Fatalf("fallback = %d", got)
+	}
+}

@@ -1,0 +1,297 @@
+package livenet
+
+import (
+	"bufio"
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+
+	"fesplit/internal/stats"
+	"fesplit/internal/workload"
+)
+
+// BEServer is a real-socket back-end data center: it answers forwarded
+// search queries with the dynamic content portion after the modeled
+// processing time. Responses are close-framed per request? No — the FE
+// holds a persistent connection, so responses are length-prefixed with
+// a minimal Content-Length header.
+type BEServer struct {
+	lis  net.Listener
+	spec workload.ContentSpec
+	cost workload.CostModel
+	mu   sync.Mutex
+	rng  *rand.Rand
+	wg   sync.WaitGroup
+
+	served int
+}
+
+// StartBE launches a back-end server on an ephemeral loopback port.
+func StartBE(spec workload.ContentSpec, cost workload.CostModel, seed int64) (*BEServer, error) {
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	be := &BEServer{lis: lis, spec: spec, cost: cost, rng: stats.NewRand(seed)}
+	be.wg.Add(1)
+	go be.acceptLoop()
+	return be, nil
+}
+
+// Addr returns the server's dial address.
+func (be *BEServer) Addr() string { return be.lis.Addr().String() }
+
+// Served returns the number of queries answered.
+func (be *BEServer) Served() int {
+	be.mu.Lock()
+	defer be.mu.Unlock()
+	return be.served
+}
+
+// Close stops the server.
+func (be *BEServer) Close() {
+	be.lis.Close()
+	be.wg.Wait()
+}
+
+func (be *BEServer) acceptLoop() {
+	defer be.wg.Done()
+	for {
+		conn, err := be.lis.Accept()
+		if err != nil {
+			return
+		}
+		be.wg.Add(1)
+		go func() {
+			defer be.wg.Done()
+			be.serveConn(conn)
+		}()
+	}
+}
+
+func (be *BEServer) serveConn(conn net.Conn) {
+	defer conn.Close()
+	br := bufio.NewReader(conn)
+	for {
+		path, err := readRequest(br)
+		if err != nil {
+			return
+		}
+		q, err := workload.ParsePath(path)
+		if err != nil {
+			fmt.Fprintf(conn, "HTTP/1.1 400 Bad Request\r\nContent-Length: 0\r\n\r\n")
+			continue
+		}
+		be.mu.Lock()
+		proc := be.cost.Sample(q, 0, be.rng)
+		body := be.spec.DynamicBody(q, be.rng)
+		be.served++
+		be.mu.Unlock()
+		time.Sleep(proc) // the modeled query processing time
+		fmt.Fprintf(conn, "HTTP/1.1 200 OK\r\nContent-Length: %d\r\n\r\n", len(body))
+		conn.Write(body)
+	}
+}
+
+// FEServer is a real-socket front end: static-prefix cache, split TCP
+// with one persistent back-end connection per client connection, and an
+// injected one-way delay toward clients emulating wide-area distance.
+type FEServer struct {
+	lis     net.Listener
+	beAddr  string
+	static  []byte
+	feDelay time.Duration
+	oneWay  time.Duration
+	wg      sync.WaitGroup
+
+	mu     sync.Mutex
+	served int
+	fetch  []time.Duration
+}
+
+// StartFE launches a front-end proxy on an ephemeral loopback port.
+// oneWay is the injected FE→client delay (half the emulated RTT);
+// feDelay the request processing time before the static flush.
+func StartFE(beAddr string, static []byte, feDelay, oneWay time.Duration) (*FEServer, error) {
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	fe := &FEServer{
+		lis: lis, beAddr: beAddr, static: static,
+		feDelay: feDelay, oneWay: oneWay,
+	}
+	fe.wg.Add(1)
+	go fe.acceptLoop()
+	return fe, nil
+}
+
+// Addr returns the proxy's dial address.
+func (fe *FEServer) Addr() string { return fe.lis.Addr().String() }
+
+// Served returns the number of requests proxied.
+func (fe *FEServer) Served() int {
+	fe.mu.Lock()
+	defer fe.mu.Unlock()
+	return fe.served
+}
+
+// FetchTimes returns ground-truth FE↔BE fetch times, as in the
+// simulator.
+func (fe *FEServer) FetchTimes() []time.Duration {
+	fe.mu.Lock()
+	defer fe.mu.Unlock()
+	out := make([]time.Duration, len(fe.fetch))
+	copy(out, fe.fetch)
+	return out
+}
+
+// Close stops the proxy.
+func (fe *FEServer) Close() {
+	fe.lis.Close()
+	fe.wg.Wait()
+}
+
+func (fe *FEServer) acceptLoop() {
+	defer fe.wg.Done()
+	for {
+		conn, err := fe.lis.Accept()
+		if err != nil {
+			return
+		}
+		fe.wg.Add(1)
+		go func() {
+			defer fe.wg.Done()
+			fe.serveConn(conn)
+		}()
+	}
+}
+
+func (fe *FEServer) serveConn(client net.Conn) {
+	defer client.Close()
+	br := bufio.NewReader(client)
+	path, err := readRequest(br)
+	if err != nil {
+		return
+	}
+	// Inbound propagation: the GET "traveled" oneWay to reach us.
+	time.Sleep(fe.oneWay)
+
+	fe.mu.Lock()
+	fe.served++
+	fe.mu.Unlock()
+
+	out := newDelayedWriter(client, fe.oneWay)
+	defer out.Close()
+
+	// Role 2 first: forward to the BE immediately (split TCP), in
+	// parallel with the static flush.
+	type fetchResult struct {
+		body []byte
+		err  error
+	}
+	fetchCh := make(chan fetchResult, 1)
+	start := time.Now()
+	go func() {
+		body, err := fe.fetchFromBE(path)
+		fetchCh <- fetchResult{body, err}
+	}()
+
+	// Role 1: cached static portion after the FE processing delay.
+	time.Sleep(fe.feDelay)
+	out.Write([]byte(responseHeader))
+	out.Write(fe.static)
+
+	res := <-fetchCh
+	fe.mu.Lock()
+	fe.fetch = append(fe.fetch, time.Since(start))
+	fe.mu.Unlock()
+	if res.err == nil {
+		out.Write(res.body)
+	}
+	// out.Close (deferred) flushes and half-closes → client sees EOF.
+}
+
+// fetchFromBE issues one forwarded query over a fresh or pooled BE
+// connection. For simplicity each client connection gets its own BE
+// connection (per-request pooling is the simulator's job; here one
+// query per client connection is the paper's workload anyway).
+func (fe *FEServer) fetchFromBE(path string) ([]byte, error) {
+	conn, err := net.Dial("tcp", fe.beAddr)
+	if err != nil {
+		return nil, err
+	}
+	defer conn.Close()
+	fmt.Fprintf(conn, "GET %s HTTP/1.1\r\nHost: be\r\n\r\n", path)
+	br := bufio.NewReader(conn)
+	// Parse the Content-Length framed response.
+	var status string
+	var clen int
+	status, err = br.ReadString('\n')
+	if err != nil {
+		return nil, err
+	}
+	_ = status
+	for {
+		line, err := br.ReadString('\n')
+		if err != nil {
+			return nil, err
+		}
+		line = trimCRLF(line)
+		if line == "" {
+			break
+		}
+		if n, ok := cutPrefixFold(line, "Content-Length:"); ok {
+			fmt.Sscanf(n, "%d", &clen)
+		}
+	}
+	body := make([]byte, clen)
+	if _, err := readFull(br, body); err != nil {
+		return nil, err
+	}
+	return body, nil
+}
+
+func trimCRLF(s string) string {
+	for len(s) > 0 && (s[len(s)-1] == '\n' || s[len(s)-1] == '\r') {
+		s = s[:len(s)-1]
+	}
+	return s
+}
+
+func cutPrefixFold(s, prefix string) (string, bool) {
+	if len(s) < len(prefix) {
+		return "", false
+	}
+	for i := 0; i < len(prefix); i++ {
+		a, b := s[i], prefix[i]
+		if 'A' <= a && a <= 'Z' {
+			a += 'a' - 'A'
+		}
+		if 'A' <= b && b <= 'Z' {
+			b += 'a' - 'A'
+		}
+		if a != b {
+			return "", false
+		}
+	}
+	rest := s[len(prefix):]
+	for len(rest) > 0 && rest[0] == ' ' {
+		rest = rest[1:]
+	}
+	return rest, true
+}
+
+func readFull(br *bufio.Reader, buf []byte) (int, error) {
+	total := 0
+	for total < len(buf) {
+		n, err := br.Read(buf[total:])
+		total += n
+		if err != nil {
+			return total, err
+		}
+	}
+	return total, nil
+}

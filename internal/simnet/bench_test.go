@@ -1,0 +1,40 @@
+package simnet
+
+import (
+	"testing"
+	"time"
+)
+
+// BenchmarkEventThroughput measures raw scheduler throughput: schedule
+// and drain chains of events.
+func BenchmarkEventThroughput(b *testing.B) {
+	s := New(1)
+	var fn func()
+	remaining := b.N
+	fn = func() {
+		if remaining > 0 {
+			remaining--
+			s.Schedule(time.Microsecond, fn)
+		}
+	}
+	s.Schedule(0, fn)
+	b.ResetTimer()
+	s.Run()
+}
+
+// BenchmarkNetworkSend measures per-packet delivery cost on a
+// configured path.
+func BenchmarkNetworkSend(b *testing.B) {
+	s := New(2)
+	n := NewNetwork(s)
+	n.Attach("dst", HandlerFunc(func(Packet) {}))
+	n.SetPath("src", "dst", PathParams{Delay: time.Millisecond})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n.Send(Packet{From: "src", To: "dst", Size: 1460})
+		if i%1024 == 0 {
+			s.Run() // drain periodically to bound the heap
+		}
+	}
+	s.Run()
+}

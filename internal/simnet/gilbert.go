@@ -1,0 +1,64 @@
+package simnet
+
+// GilbertParams is a two-state Gilbert–Elliott burst-loss model: the
+// path alternates between a Good and a Bad state with per-packet
+// transition probabilities, and drops packets with a state-dependent
+// probability. Wireless last hops (the paper's Discussion-section
+// scenario) lose packets in bursts rather than independently; this
+// model captures that correlation.
+type GilbertParams struct {
+	// PGoodToBad and PBadToGood are per-packet transition
+	// probabilities.
+	PGoodToBad float64
+	PBadToGood float64
+	// LossGood and LossBad are the per-packet drop probabilities in
+	// each state.
+	LossGood float64
+	LossBad  float64
+}
+
+// MeanLossRate returns the stationary average drop probability:
+// π_bad·LossBad + π_good·LossGood with π_bad = p/(p+r).
+func (g GilbertParams) MeanLossRate() float64 {
+	p, r := g.PGoodToBad, g.PBadToGood
+	if p+r == 0 {
+		return g.LossGood
+	}
+	piBad := p / (p + r)
+	return piBad*g.LossBad + (1-piBad)*g.LossGood
+}
+
+// WirelessGilbert is a calibrated WiFi-like profile: rare transitions
+// into a bad state that drops a third of packets, averaging ≈1% loss.
+func WirelessGilbert() GilbertParams {
+	return GilbertParams{
+		PGoodToBad: 0.005,
+		PBadToGood: 0.20,
+		LossGood:   0.001,
+		LossBad:    0.33,
+	}
+}
+
+// gilbertState is the runtime state of a path's burst-loss process.
+type gilbertState struct {
+	params GilbertParams
+	bad    bool
+}
+
+// drop advances the Markov chain one packet and reports whether this
+// packet is lost. rnd must supply two independent uniforms.
+func (g *gilbertState) drop(u1, u2 float64) bool {
+	if g.bad {
+		if u1 < g.params.PBadToGood {
+			g.bad = false
+		}
+	} else {
+		if u1 < g.params.PGoodToBad {
+			g.bad = true
+		}
+	}
+	if g.bad {
+		return u2 < g.params.LossBad
+	}
+	return u2 < g.params.LossGood
+}

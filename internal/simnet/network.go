@@ -1,0 +1,215 @@
+package simnet
+
+import (
+	"fmt"
+	"time"
+)
+
+// HostID names a host on the simulated network, e.g. "client-17",
+// "fe-chicago", "be-lenoir".
+type HostID string
+
+// Packet is the unit of transfer on the network. Payload is opaque to
+// simnet; Size (bytes, including headers) drives serialization delay.
+type Packet struct {
+	From    HostID
+	To      HostID
+	Size    int
+	Payload interface{}
+}
+
+// Handler receives packets delivered to a host.
+type Handler interface {
+	Deliver(pkt Packet)
+}
+
+// HandlerFunc adapts a function to the Handler interface.
+type HandlerFunc func(pkt Packet)
+
+// Deliver calls f(pkt).
+func (f HandlerFunc) Deliver(pkt Packet) { f(pkt) }
+
+// PathParams characterizes one direction of a network path.
+type PathParams struct {
+	// Delay is the one-way propagation delay.
+	Delay time.Duration
+	// Jitter adds a uniform [0, Jitter) random extra delay per packet.
+	// FIFO ordering is preserved regardless (a later packet never
+	// arrives before an earlier one on the same path).
+	Jitter time.Duration
+	// LossRate drops each packet independently with this probability.
+	LossRate float64
+	// Gilbert, when non-nil, replaces the Bernoulli LossRate with a
+	// two-state burst-loss process (see GilbertParams).
+	Gilbert *GilbertParams
+	// Bandwidth in bytes/second limits throughput via serialization
+	// delay and queueing. Zero or negative means unlimited.
+	Bandwidth float64
+}
+
+// Symmetric builds a PathParams pair (forward, reverse) with identical
+// parameters in both directions.
+func Symmetric(p PathParams) (fwd, rev PathParams) { return p, p }
+
+// path is the runtime state of one direction of a link.
+type path struct {
+	params      PathParams
+	busyUntil   Time // link serialization occupancy
+	lastArrival Time // FIFO clamp
+	gilbert     *gilbertState
+
+	// counters
+	sent, dropped uint64
+	bytes         uint64
+}
+
+func newPath(params PathParams) *path {
+	p := &path{params: params}
+	if params.Gilbert != nil {
+		p.gilbert = &gilbertState{params: *params.Gilbert}
+	}
+	return p
+}
+
+type pathKey struct{ from, to HostID }
+
+// Network connects hosts through configured paths. Unconfigured
+// host pairs share a default path (zero delay, unlimited bandwidth) so
+// tests can wire things up tersely.
+type Network struct {
+	sim      *Sim
+	hosts    map[HostID]Handler
+	paths    map[pathKey]*path
+	defaults PathParams
+}
+
+// NewNetwork creates an empty network on the given simulator.
+func NewNetwork(sim *Sim) *Network {
+	return &Network{
+		sim:   sim,
+		hosts: make(map[HostID]Handler),
+		paths: make(map[pathKey]*path),
+	}
+}
+
+// Sim returns the simulator this network schedules on.
+func (n *Network) Sim() *Sim { return n.sim }
+
+// Attach registers (or replaces) the handler for a host.
+func (n *Network) Attach(id HostID, h Handler) {
+	n.hosts[id] = h
+}
+
+// Detach removes a host; packets in flight to it are dropped on arrival.
+func (n *Network) Detach(id HostID) { delete(n.hosts, id) }
+
+// SetDefaultPath sets parameters used for host pairs without an explicit
+// SetPath call.
+func (n *Network) SetDefaultPath(p PathParams) { n.defaults = p }
+
+// SetPath configures the directed path from → to. Call twice (swapped)
+// for a bidirectional link, or use SetLink.
+func (n *Network) SetPath(from, to HostID, p PathParams) {
+	n.paths[pathKey{from, to}] = newPath(p)
+}
+
+// SetLink configures both directions between a and b with the same
+// parameters.
+func (n *Network) SetLink(a, b HostID, p PathParams) {
+	n.SetPath(a, b, p)
+	n.SetPath(b, a, p)
+}
+
+// Path returns the parameters of the directed path from → to
+// (the default parameters if unconfigured).
+func (n *Network) Path(from, to HostID) PathParams {
+	if p, ok := n.paths[pathKey{from, to}]; ok {
+		return p.params
+	}
+	return n.defaults
+}
+
+// RTT returns the base round-trip propagation delay between a and b
+// (sum of the two directed path delays, excluding jitter/queueing).
+func (n *Network) RTT(a, b HostID) time.Duration {
+	return n.Path(a, b).Delay + n.Path(b, a).Delay
+}
+
+func (n *Network) pathState(from, to HostID) *path {
+	k := pathKey{from, to}
+	p, ok := n.paths[k]
+	if !ok {
+		p = newPath(n.defaults)
+		n.paths[k] = p
+	}
+	return p
+}
+
+// Send transmits pkt. Delivery is scheduled on the simulator according to
+// the path's delay, jitter, bandwidth occupancy and loss. Send returns
+// immediately; it never blocks.
+func (n *Network) Send(pkt Packet) {
+	p := n.pathState(pkt.From, pkt.To)
+	p.sent++
+	p.bytes += uint64(pkt.Size)
+
+	if p.gilbert != nil {
+		if p.gilbert.drop(n.sim.Rand().Float64(), n.sim.Rand().Float64()) {
+			p.dropped++
+			return
+		}
+	} else if p.params.LossRate > 0 && n.sim.Rand().Float64() < p.params.LossRate {
+		p.dropped++
+		return
+	}
+
+	now := n.sim.Now()
+
+	// Serialization / queueing: the link transmits packets one at a
+	// time at Bandwidth bytes/sec.
+	start := now
+	if start < p.busyUntil {
+		start = p.busyUntil
+	}
+	var ser time.Duration
+	if p.params.Bandwidth > 0 && pkt.Size > 0 {
+		ser = time.Duration(float64(pkt.Size) / p.params.Bandwidth * float64(time.Second))
+	}
+	p.busyUntil = start + ser
+
+	arrival := p.busyUntil + p.params.Delay
+	if p.params.Jitter > 0 {
+		arrival += time.Duration(n.sim.Rand().Int63n(int64(p.params.Jitter)))
+	}
+	// FIFO: never reorder within a path.
+	if arrival < p.lastArrival {
+		arrival = p.lastArrival
+	}
+	p.lastArrival = arrival
+
+	n.sim.ScheduleAt(arrival, func() {
+		if h, ok := n.hosts[pkt.To]; ok {
+			h.Deliver(pkt)
+		}
+	})
+}
+
+// PathStats reports counters for the directed path from → to.
+type PathStats struct {
+	Sent    uint64
+	Dropped uint64
+	Bytes   uint64
+}
+
+// Stats returns the counters of the directed path from → to.
+func (n *Network) Stats(from, to HostID) PathStats {
+	if p, ok := n.paths[pathKey{from, to}]; ok {
+		return PathStats{Sent: p.sent, Dropped: p.dropped, Bytes: p.bytes}
+	}
+	return PathStats{}
+}
+
+// String summarizes the network for debugging.
+func (n *Network) String() string {
+	return fmt.Sprintf("network(hosts=%d paths=%d)", len(n.hosts), len(n.paths))
+}

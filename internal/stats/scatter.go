@@ -1,0 +1,62 @@
+package stats
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Scatter renders an ASCII scatter plot of (xs[i], ys[i]) on a
+// cols×rows character grid with axis labels — enough to eyeball the
+// paper's figures in a terminal report. Multiple points in one cell
+// escalate the marker (· → ○ → ●).
+func Scatter(xs, ys []float64, cols, rows int, xlabel, ylabel string) string {
+	if cols < 12 {
+		cols = 12
+	}
+	if rows < 4 {
+		rows = 4
+	}
+	n := len(xs)
+	if len(ys) < n {
+		n = len(ys)
+	}
+	if n == 0 {
+		return "(no data)\n"
+	}
+	xmin, xmax := Min(xs[:n]), Max(xs[:n])
+	ymin, ymax := Min(ys[:n]), Max(ys[:n])
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+	if ymax == ymin {
+		ymax = ymin + 1
+	}
+	grid := make([][]int, rows)
+	for r := range grid {
+		grid[r] = make([]int, cols)
+	}
+	for i := 0; i < n; i++ {
+		c := int((xs[i] - xmin) / (xmax - xmin) * float64(cols-1))
+		r := int((ys[i] - ymin) / (ymax - ymin) * float64(rows-1))
+		grid[rows-1-r][c]++
+	}
+	marks := []rune{' ', '·', '○', '●'}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", ylabel)
+	for r := 0; r < rows; r++ {
+		yv := ymax - (ymax-ymin)*float64(r)/float64(rows-1)
+		fmt.Fprintf(&b, "%9.1f |", yv)
+		for c := 0; c < cols; c++ {
+			m := grid[r][c]
+			if m >= len(marks) {
+				m = len(marks) - 1
+			}
+			b.WriteRune(marks[m])
+		}
+		b.WriteString("|\n")
+	}
+	fmt.Fprintf(&b, "%9s +%s+\n", "", strings.Repeat("-", cols))
+	fmt.Fprintf(&b, "%9s  %-*.1f%*.1f\n", "", cols/2, xmin, cols-cols/2, xmax)
+	fmt.Fprintf(&b, "%9s  %s\n", "", xlabel)
+	return b.String()
+}

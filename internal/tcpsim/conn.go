@@ -1,0 +1,940 @@
+package tcpsim
+
+import (
+	"sort"
+	"time"
+
+	"fesplit/internal/simnet"
+)
+
+// maxBackoffs bounds consecutive unanswered retransmissions before the
+// connection gives up (comparable to net.ipv4.tcp_retries2).
+const maxBackoffs = 8
+
+// state is the (reduced) TCP connection state.
+type state uint8
+
+const (
+	stateSynSent state = iota
+	stateSynRcvd
+	stateEstablished
+	stateClosed
+)
+
+// Conn is one TCP connection. Callbacks must be set before the simulator
+// processes the relevant events (typically right after Dial, or inside
+// the listener's accept function).
+type Conn struct {
+	// OnConnect fires when the connection reaches ESTABLISHED.
+	OnConnect func()
+	// OnData delivers in-order stream bytes as they arrive. The slice
+	// is owned by the callee.
+	OnData func([]byte)
+	// OnClose fires once when the peer's FIN is received (end of the
+	// peer's stream).
+	OnClose func()
+
+	ep         *Endpoint
+	remote     simnet.HostID
+	remotePort uint16
+	localPort  uint16
+	server     bool
+	acceptFn   func(*Conn)
+	st         state
+
+	// --- send side ---
+	sndUna    uint64  // oldest unacknowledged sequence number
+	sndNxt    uint64  // next sequence number to send
+	maxSent   uint64  // highest sequence ever transmitted (Retrans marking)
+	sndBuf    []byte  // unacked + unsent payload bytes
+	bufBase   uint64  // sequence number of sndBuf[0]
+	cwnd      float64 // congestion window, bytes
+	ssthresh  float64 // slow-start threshold, bytes
+	peerWnd   int     // peer's advertised receive window
+	dupAcks   int
+	inRecov   bool
+	recoverSq uint64 // sndNxt at loss detection; recovery ends at this ack
+	finQueued bool
+	finSent   bool
+	finSeq    uint64
+	finAcked  bool
+
+	// SACK scoreboard (sender side): disjoint, sorted ranges the peer
+	// reported holding; and the scan cursor for hole retransmissions
+	// during recovery.
+	sacked   []SACKBlock
+	lastHole uint64
+
+	// RTT estimation / RTO
+	srtt       time.Duration
+	rttvar     time.Duration
+	rto        time.Duration
+	rttSampled bool
+	timedSeq   uint64 // ack that completes the timed sample
+	timedAt    time.Duration
+	timedValid bool
+	timerGen   uint64
+	timerArmed bool
+
+	// --- receive side ---
+	rcvNxt   uint64
+	ooo      map[uint64][]byte // out-of-order segments keyed by seq
+	finRcvd  bool
+	finRseq  uint64
+	closedUp bool // OnClose already delivered
+
+	// delayed-ACK state
+	ackPending  int
+	ackTimerGen uint64
+
+	// consecutive RTO expiries without progress; the connection aborts
+	// after maxBackoffs so a vanished peer cannot generate retransmit
+	// events forever.
+	backoffs int
+
+	// --- metrics ---
+	retransmits  int
+	fastRetrans  int
+	timeouts     int
+	bytesSent    uint64
+	bytesRecved  uint64
+	establishedT time.Duration
+}
+
+func newConn(ep *Endpoint, remote simnet.HostID, remotePort, localPort uint16, server bool) *Conn {
+	cfg := ep.cfg
+	c := &Conn{
+		ep:         ep,
+		remote:     remote,
+		remotePort: remotePort,
+		localPort:  localPort,
+		server:     server,
+		cwnd:       float64(cfg.InitialCwnd * cfg.MSS),
+		ssthresh:   float64(cfg.InitialSsthresh),
+		peerWnd:    cfg.RcvWindow, // until the peer advertises
+		rto:        time.Second,   // RFC 6298 initial RTO
+		ooo:        make(map[uint64][]byte),
+		bufBase:    1, // data starts after the SYN
+		rcvNxt:     0,
+	}
+	if server {
+		c.st = stateSynRcvd
+	} else {
+		c.st = stateSynSent
+	}
+	return c
+}
+
+// RemoteHost returns the peer's host ID.
+func (c *Conn) RemoteHost() simnet.HostID { return c.remote }
+
+// RemotePort returns the peer's port.
+func (c *Conn) RemotePort() uint16 { return c.remotePort }
+
+// LocalPort returns the local port.
+func (c *Conn) LocalPort() uint16 { return c.localPort }
+
+// Established reports whether the handshake has completed.
+func (c *Conn) Established() bool { return c.st == stateEstablished }
+
+// Closed reports whether the connection has fully terminated.
+func (c *Conn) Closed() bool { return c.st == stateClosed }
+
+// Metrics summarizes the connection's transport behaviour.
+type Metrics struct {
+	Retransmits   int
+	FastRetrans   int
+	Timeouts      int
+	BytesSent     uint64
+	BytesReceived uint64
+	SRTT          time.Duration
+	Cwnd          int // bytes
+	EstablishedAt time.Duration
+}
+
+// Metrics returns a snapshot of transport counters.
+func (c *Conn) Metrics() Metrics {
+	return Metrics{
+		Retransmits:   c.retransmits,
+		FastRetrans:   c.fastRetrans,
+		Timeouts:      c.timeouts,
+		BytesSent:     c.bytesSent,
+		BytesReceived: c.bytesRecved,
+		SRTT:          c.srtt,
+		Cwnd:          int(c.cwnd),
+		EstablishedAt: c.establishedT,
+	}
+}
+
+// Send queues data for transmission. Bytes sent before the handshake
+// completes are buffered and flushed on connect. Send after Close is
+// ignored.
+func (c *Conn) Send(data []byte) {
+	if c.finQueued || c.st == stateClosed || len(data) == 0 {
+		return
+	}
+	c.sndBuf = append(c.sndBuf, data...)
+	if c.st == stateEstablished {
+		c.trySend()
+	}
+}
+
+// Close queues a FIN after all pending data; the connection terminates
+// once the FIN is acknowledged and the peer's FIN (if any) has arrived.
+func (c *Conn) Close() {
+	if c.finQueued || c.st == stateClosed {
+		return
+	}
+	c.finQueued = true
+	if c.st == stateEstablished {
+		c.trySend()
+	}
+}
+
+// --- segment construction ---
+
+func (c *Conn) seg(flags Flags, seq uint64, data []byte) Segment {
+	s := Segment{
+		SrcPort: c.localPort,
+		DstPort: c.remotePort,
+		Flags:   flags,
+		Seq:     seq,
+		Wnd:     c.ep.cfg.RcvWindow,
+		Data:    data,
+	}
+	if flags&FlagACK != 0 {
+		s.Ack = c.rcvNxt
+		if c.ep.cfg.SACK && len(c.ooo) > 0 {
+			s.SACK = c.sackBlocks()
+		}
+	}
+	return s
+}
+
+// sackBlocks merges the out-of-order buffer into up to three
+// selective-ack ranges (RFC 2018 limits blocks to what fits the TCP
+// option space).
+func (c *Conn) sackBlocks() []SACKBlock {
+	keys := make([]uint64, 0, len(c.ooo))
+	for k := range c.ooo {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	var blocks []SACKBlock
+	for _, k := range keys {
+		end := k + uint64(len(c.ooo[k]))
+		if n := len(blocks); n > 0 && blocks[n-1].End >= k {
+			if end > blocks[n-1].End {
+				blocks[n-1].End = end
+			}
+			continue
+		}
+		blocks = append(blocks, SACKBlock{Start: k, End: end})
+	}
+	if len(blocks) > 3 {
+		blocks = blocks[:3]
+	}
+	return blocks
+}
+
+// addSACK folds the peer's reported blocks into the sender scoreboard,
+// keeping it sorted and disjoint.
+func (c *Conn) addSACK(blocks []SACKBlock) {
+	for _, b := range blocks {
+		if b.End <= b.Start || b.End <= c.sndUna {
+			continue
+		}
+		c.sacked = append(c.sacked, b)
+	}
+	if len(c.sacked) < 2 {
+		return
+	}
+	sort.Slice(c.sacked, func(i, j int) bool { return c.sacked[i].Start < c.sacked[j].Start })
+	merged := c.sacked[:1]
+	for _, b := range c.sacked[1:] {
+		last := &merged[len(merged)-1]
+		if b.Start <= last.End {
+			if b.End > last.End {
+				last.End = b.End
+			}
+			continue
+		}
+		merged = append(merged, b)
+	}
+	c.sacked = merged
+}
+
+// pruneSACK drops scoreboard ranges cumulatively acknowledged.
+func (c *Conn) pruneSACK(una uint64) {
+	kept := c.sacked[:0]
+	for _, b := range c.sacked {
+		if b.End <= una {
+			continue
+		}
+		if b.Start < una {
+			b.Start = una
+		}
+		kept = append(kept, b)
+	}
+	c.sacked = kept
+}
+
+// retransmitHole resends the first un-SACKed hole at or after `from`
+// (and ≥ sndUna). During recovery only data sent before the loss was
+// detected (below recoverSq) is eligible — anything above is merely in
+// flight, not lost (RFC 6675's high-data bound). It reports whether a
+// hole was sent and advances the recovery cursor.
+func (c *Conn) retransmitHole(from uint64) bool {
+	start := from
+	if start < c.sndUna {
+		start = c.sndUna
+	}
+	// Skip past any SACKed range covering start.
+	for _, b := range c.sacked {
+		if start >= b.Start && start < b.End {
+			start = b.End
+		}
+	}
+	limit := c.sndNxt
+	if c.inRecov && c.recoverSq < limit {
+		limit = c.recoverSq
+	}
+	if start >= limit {
+		return false
+	}
+	// RFC 6675 IsLost: a hole counts as lost (not merely in flight)
+	// only when at least DupThresh (3) segments' worth of SACKed data
+	// lies above it. The very first hole (sndUna) is always eligible —
+	// three duplicate ACKs already proved it.
+	if start > c.sndUna {
+		var above uint64
+		for _, b := range c.sacked {
+			if b.End > start {
+				lo := b.Start
+				if lo < start {
+					lo = start
+				}
+				above += b.End - lo
+			}
+		}
+		if above < 3*uint64(c.ep.cfg.MSS) {
+			return false
+		}
+	}
+	streamEnd := c.bufBase + uint64(len(c.sndBuf))
+	if start >= streamEnd {
+		if c.finSent && start == c.finSeq {
+			s := c.seg(FlagFIN|FlagACK, c.finSeq, nil)
+			s.Retrans = true
+			c.transmit(s)
+			c.lastHole = start + 1
+			return true
+		}
+		return false
+	}
+	// Hole length: up to MSS, capped at the next SACKed range.
+	n := uint64(c.ep.cfg.MSS)
+	if n > streamEnd-start {
+		n = streamEnd - start
+	}
+	for _, b := range c.sacked {
+		if b.Start > start && b.Start-start < n {
+			n = b.Start - start
+		}
+	}
+	off := start - c.bufBase
+	data := make([]byte, n)
+	copy(data, c.sndBuf[off:off+n])
+	s := c.seg(FlagACK, start, data)
+	s.Retrans = true
+	c.transmit(s)
+	c.lastHole = start + n
+	return true
+}
+
+func (c *Conn) transmit(s Segment) {
+	c.bytesSent += uint64(len(s.Data))
+	c.ep.send(c.remote, s)
+}
+
+// sendSYN begins the client handshake.
+func (c *Conn) sendSYN() {
+	c.sndNxt = 1
+	c.startTimed(1)
+	c.transmit(c.seg(FlagSYN, 0, nil))
+	c.armTimer(c.rto)
+}
+
+func (c *Conn) sendSynAck() {
+	c.sndNxt = 1
+	c.startTimed(1)
+	c.transmit(c.seg(FlagSYN|FlagACK, 0, nil))
+	c.armTimer(c.rto)
+}
+
+// sendAck emits an immediate pure ACK.
+func (c *Conn) sendAck() {
+	c.ackPending = 0
+	c.ackTimerGen++
+	c.transmit(c.seg(FlagACK, c.sndNxt, nil))
+}
+
+// scheduleAck acknowledges received data, immediately or delayed per
+// configuration.
+func (c *Conn) scheduleAck() {
+	if !c.ep.cfg.DelayedAck {
+		c.sendAck()
+		return
+	}
+	c.ackPending++
+	if c.ackPending >= 2 {
+		c.sendAck()
+		return
+	}
+	c.ackTimerGen++
+	gen := c.ackTimerGen
+	c.ep.Sim().Schedule(c.ep.cfg.DelayedAckTimeout, func() {
+		if gen == c.ackTimerGen && c.ackPending > 0 {
+			c.sendAck()
+		}
+	})
+}
+
+// --- timers ---
+
+func (c *Conn) armTimer(d time.Duration) {
+	c.timerGen++
+	c.timerArmed = true
+	gen := c.timerGen
+	c.ep.Sim().Schedule(d, func() {
+		if gen == c.timerGen && c.timerArmed {
+			c.onTimeout()
+		}
+	})
+}
+
+func (c *Conn) cancelTimer() {
+	c.timerGen++
+	c.timerArmed = false
+}
+
+// startTimed begins an RTT sample completed by an ack ≥ ackAt.
+func (c *Conn) startTimed(ackAt uint64) {
+	if c.timedValid {
+		return // one sample at a time
+	}
+	c.timedSeq = ackAt
+	c.timedAt = c.ep.Sim().Now()
+	c.timedValid = true
+}
+
+func (c *Conn) sampleRTT() {
+	r := c.ep.Sim().Now() - c.timedAt
+	c.timedValid = false
+	if !c.rttSampled {
+		c.srtt = r
+		c.rttvar = r / 2
+		c.rttSampled = true
+	} else {
+		// RFC 6298: RTTVAR = 3/4·RTTVAR + 1/4·|SRTT − R|,
+		// SRTT = 7/8·SRTT + 1/8·R.
+		diff := c.srtt - r
+		if diff < 0 {
+			diff = -diff
+		}
+		c.rttvar = (3*c.rttvar + diff) / 4
+		c.srtt = (7*c.srtt + r) / 8
+	}
+	rto := c.srtt + 4*c.rttvar
+	if rto < c.ep.cfg.MinRTO {
+		rto = c.ep.cfg.MinRTO
+	}
+	if rto > c.ep.cfg.MaxRTO {
+		rto = c.ep.cfg.MaxRTO
+	}
+	c.rto = rto
+}
+
+// onTimeout handles an RTO expiry: multiplicative backoff, collapse the
+// window and retransmit the oldest outstanding segment (RFC 5681 §3.1).
+func (c *Conn) onTimeout() {
+	c.timerArmed = false
+	if c.st == stateClosed {
+		return
+	}
+	outstanding := c.sndNxt - c.sndUna
+	if outstanding == 0 {
+		return
+	}
+	c.backoffs++
+	if c.backoffs > maxBackoffs {
+		c.abort()
+		return
+	}
+	c.timeouts++
+	c.retransmits++
+	mss := float64(c.ep.cfg.MSS)
+	half := float64(outstanding) / 2
+	if half < 2*mss {
+		half = 2 * mss
+	}
+	c.ssthresh = half
+	c.cwnd = mss
+	c.dupAcks = 0
+	c.inRecov = false
+	c.timedValid = false // Karn: never time retransmitted data
+	c.rto *= 2
+	if c.rto > c.ep.cfg.MaxRTO {
+		c.rto = c.ep.cfg.MaxRTO
+	}
+	if c.st == stateEstablished {
+		// Go-back-N: after an RTO, data beyond sndUna is no longer
+		// considered in flight; slow start re-clocks the
+		// retransmissions ACK by ACK. Without this rewind the stale
+		// "flight" blocks trySend and every later hole costs another
+		// full backed-off RTO — a retransmission death spiral.
+		c.sndNxt = c.sndUna
+		if c.finSent && c.sndNxt <= c.finSeq {
+			c.finSent = false
+		}
+		c.trySend()
+	} else {
+		c.retransmitOldest()
+	}
+	c.armTimer(c.rto)
+}
+
+// retransmitOldest resends whatever occupies sequence number sndUna.
+func (c *Conn) retransmitOldest() {
+	switch c.st {
+	case stateSynSent:
+		s := c.seg(FlagSYN, 0, nil)
+		s.Retrans = true
+		c.transmit(s)
+		return
+	case stateSynRcvd:
+		s := c.seg(FlagSYN|FlagACK, 0, nil)
+		s.Retrans = true
+		c.transmit(s)
+		return
+	}
+	streamEnd := c.bufBase + uint64(len(c.sndBuf))
+	if c.sndUna < streamEnd {
+		off := c.sndUna - c.bufBase
+		n := uint64(c.ep.cfg.MSS)
+		if n > streamEnd-c.sndUna {
+			n = streamEnd - c.sndUna
+		}
+		data := make([]byte, n)
+		copy(data, c.sndBuf[off:off+n])
+		s := c.seg(FlagACK, c.sndUna, data)
+		s.Retrans = true
+		c.transmit(s)
+		return
+	}
+	if c.finSent && c.sndUna == c.finSeq {
+		s := c.seg(FlagFIN|FlagACK, c.finSeq, nil)
+		s.Retrans = true
+		c.transmit(s)
+	}
+}
+
+// --- receive path ---
+
+// handle processes one incoming segment.
+func (c *Conn) handle(s Segment) {
+	switch c.st {
+	case stateSynSent:
+		if s.Flags&FlagSYN != 0 && s.Flags&FlagACK != 0 && s.Ack >= 1 {
+			c.rcvNxt = s.Seq + 1
+			c.sndUna = 1
+			c.peerWnd = s.Wnd
+			if c.timedValid && s.Ack >= c.timedSeq {
+				c.sampleRTT()
+			}
+			c.cancelTimer()
+			c.establish()
+			c.sendAck()
+			c.trySend()
+		}
+		return
+	case stateSynRcvd:
+		if s.Flags&FlagSYN != 0 && s.Flags&FlagACK == 0 {
+			if c.sndNxt == 0 { // first SYN
+				c.rcvNxt = s.Seq + 1
+				c.sendSynAck()
+			} else { // duplicate SYN: retransmit SYN-ACK
+				c.retransmitOldest()
+			}
+			return
+		}
+		if s.Flags&FlagACK != 0 && s.Ack >= 1 {
+			c.sndUna = 1
+			c.peerWnd = s.Wnd
+			if c.timedValid && s.Ack >= c.timedSeq {
+				c.sampleRTT()
+			}
+			c.cancelTimer()
+			c.establish()
+			// The establishing segment may carry data; fall through.
+			if len(s.Data) > 0 || s.Flags&FlagFIN != 0 {
+				c.processPayload(s)
+			}
+			c.trySend()
+		}
+		return
+	case stateClosed:
+		return
+	}
+
+	// ESTABLISHED.
+	if s.Flags&FlagSYN != 0 {
+		// A retransmitted SYN|ACK means our final handshake ACK was
+		// lost; re-acknowledge so the peer can establish.
+		c.sendAck()
+		return
+	}
+	if s.Flags&FlagACK != 0 {
+		c.processAck(s)
+	}
+	if len(s.Data) > 0 || s.Flags&FlagFIN != 0 {
+		c.processPayload(s)
+	}
+	c.maybeFinish()
+}
+
+func (c *Conn) establish() {
+	c.st = stateEstablished
+	c.backoffs = 0
+	c.establishedT = c.ep.Sim().Now()
+	if c.acceptFn != nil {
+		fn := c.acceptFn
+		c.acceptFn = nil
+		fn(c)
+	}
+	if c.OnConnect != nil {
+		c.OnConnect()
+	}
+}
+
+// processAck handles the acknowledgment field of an incoming segment.
+func (c *Conn) processAck(s Segment) {
+	c.peerWnd = s.Wnd
+	mss := float64(c.ep.cfg.MSS)
+	if c.ep.cfg.SACK && len(s.SACK) > 0 {
+		c.addSACK(s.SACK)
+	}
+
+	if s.Ack > c.sndUna {
+		// New data acknowledged.
+		if c.timedValid && s.Ack >= c.timedSeq {
+			c.sampleRTT()
+		}
+		c.advanceUna(s.Ack)
+		c.dupAcks = 0
+		c.backoffs = 0
+
+		if c.inRecov {
+			if s.Ack >= c.recoverSq {
+				// Full recovery: deflate.
+				c.inRecov = false
+				c.cwnd = c.ssthresh
+			} else {
+				// Partial ack: retransmit the next hole, keep
+				// recovery going. With SACK the hole scan skips
+				// already-received ranges (RFC 6675 flavor); without
+				// it this is NewReno's one-hole-per-RTT.
+				c.retransmits++
+				if c.ep.cfg.SACK {
+					if !c.retransmitHole(s.Ack) {
+						c.retransmitOldest()
+					}
+				} else {
+					c.retransmitOldest()
+				}
+			}
+		} else if c.cwnd < c.ssthresh {
+			c.cwnd += mss // slow start
+		} else {
+			c.cwnd += mss * mss / c.cwnd // congestion avoidance
+		}
+
+		if c.sndUna == c.sndNxt {
+			c.cancelTimer()
+		} else {
+			c.armTimer(c.rto) // restart for remaining data
+		}
+		c.trySend()
+		return
+	}
+
+	// Possible duplicate ACK: pure ACK, no data, nothing new acked,
+	// with data outstanding.
+	if s.Ack == c.sndUna && len(s.Data) == 0 && s.Flags&FlagFIN == 0 &&
+		c.sndNxt > c.sndUna {
+		c.dupAcks++
+		switch {
+		case c.dupAcks == 3 && !c.inRecov:
+			// Fast retransmit + fast recovery (Reno / SACK).
+			c.fastRetrans++
+			c.retransmits++
+			flight := float64(c.sndNxt - c.sndUna)
+			half := flight / 2
+			if half < 2*mss {
+				half = 2 * mss
+			}
+			c.ssthresh = half
+			c.inRecov = true
+			c.recoverSq = c.sndNxt
+			c.timedValid = false
+			if c.ep.cfg.SACK {
+				c.lastHole = c.sndUna
+				if !c.retransmitHole(c.sndUna) {
+					c.retransmitOldest()
+				}
+			} else {
+				c.retransmitOldest()
+			}
+			c.cwnd = c.ssthresh + 3*mss
+			c.armTimer(c.rto)
+		case c.dupAcks > 3 && c.inRecov:
+			c.cwnd += mss // window inflation per extra dup ack
+			// With SACK, each further dup-ack lets us fill the next
+			// hole — multiple losses repair within one RTT.
+			if c.ep.cfg.SACK && c.retransmitHole(c.lastHole) {
+				c.retransmits++
+				break
+			}
+			c.trySend()
+		}
+	}
+}
+
+// advanceUna moves the send window forward to ack.
+func (c *Conn) advanceUna(ack uint64) {
+	streamEnd := c.bufBase + uint64(len(c.sndBuf))
+	dataAck := ack
+	if c.finSent && ack > c.finSeq {
+		c.finAcked = true
+		dataAck = c.finSeq
+	}
+	if dataAck > streamEnd {
+		dataAck = streamEnd
+	}
+	if dataAck > c.bufBase {
+		c.sndBuf = c.sndBuf[dataAck-c.bufBase:]
+		c.bufBase = dataAck
+	}
+	c.sndUna = ack
+	if len(c.sacked) > 0 {
+		c.pruneSACK(ack)
+	}
+}
+
+// processPayload handles data bytes and FIN of an incoming segment.
+func (c *Conn) processPayload(s Segment) {
+	dataEnd := s.Seq + uint64(len(s.Data))
+
+	switch {
+	case s.Seq == c.rcvNxt:
+		// In-order: deliver, then drain any contiguous out-of-order
+		// segments.
+		if len(s.Data) > 0 {
+			c.deliver(s.Data)
+			c.rcvNxt = dataEnd
+		}
+		drained := c.drainOOO()
+		if s.Flags&FlagFIN != 0 && c.rcvNxt == dataEnd {
+			c.handleFIN(dataEnd)
+			return
+		}
+		if len(s.Data) > 0 {
+			if drained || len(c.ooo) > 0 {
+				c.sendAck() // filling a hole: ack immediately
+			} else {
+				c.scheduleAck()
+			}
+		}
+	case s.Seq > c.rcvNxt:
+		// Out of order: buffer and send an immediate duplicate ACK.
+		if len(s.Data) > 0 {
+			if _, dup := c.ooo[s.Seq]; !dup {
+				d := make([]byte, len(s.Data))
+				copy(d, s.Data)
+				c.ooo[s.Seq] = d
+			}
+		}
+		if s.Flags&FlagFIN != 0 {
+			c.finRcvd = true
+			c.finRseq = dataEnd
+		}
+		c.sendAck()
+	default: // s.Seq < c.rcvNxt
+		if dataEnd > c.rcvNxt {
+			// Partially new: deliver the new tail.
+			c.deliver(s.Data[c.rcvNxt-s.Seq:])
+			c.rcvNxt = dataEnd
+			c.drainOOO()
+		}
+		if s.Flags&FlagFIN != 0 && c.rcvNxt == dataEnd {
+			c.handleFIN(dataEnd)
+			return
+		}
+		c.sendAck() // duplicate data: re-ack
+	}
+
+	// A FIN buffered earlier may now be reachable.
+	if c.finRcvd && !c.closedUp && c.rcvNxt == c.finRseq {
+		c.handleFIN(c.finRseq)
+	}
+}
+
+func (c *Conn) handleFIN(seqEnd uint64) {
+	c.finRcvd = true
+	c.finRseq = seqEnd
+	c.rcvNxt = seqEnd + 1
+	c.sendAck()
+	if !c.closedUp {
+		c.closedUp = true
+		if c.OnClose != nil {
+			c.OnClose()
+		}
+	}
+	c.maybeFinish()
+}
+
+// drainOOO delivers buffered segments that have become contiguous.
+// It reports whether anything was drained.
+func (c *Conn) drainOOO() bool {
+	drained := false
+	for {
+		d, ok := c.ooo[c.rcvNxt]
+		if !ok {
+			break
+		}
+		delete(c.ooo, c.rcvNxt)
+		c.deliver(d)
+		c.rcvNxt += uint64(len(d))
+		drained = true
+	}
+	// Discard stale overlapping buffers (segments now below rcvNxt).
+	if drained && len(c.ooo) > 0 {
+		keys := make([]uint64, 0, len(c.ooo))
+		for k := range c.ooo {
+			keys = append(keys, k)
+		}
+		sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+		for _, k := range keys {
+			if k < c.rcvNxt {
+				delete(c.ooo, k)
+			}
+		}
+	}
+	return drained
+}
+
+func (c *Conn) deliver(data []byte) {
+	c.bytesRecved += uint64(len(data))
+	if c.OnData != nil {
+		c.OnData(data)
+	}
+}
+
+// --- send path ---
+
+// trySend transmits as much queued data as the congestion and peer
+// windows allow, then the FIN if queued and reachable.
+func (c *Conn) trySend() {
+	if c.st != stateEstablished {
+		return
+	}
+	mss := uint64(c.ep.cfg.MSS)
+	streamEnd := c.bufBase + uint64(len(c.sndBuf))
+
+	for c.sndNxt < streamEnd {
+		wnd := uint64(c.cwnd)
+		if pw := uint64(c.peerWnd); pw < wnd {
+			wnd = pw
+		}
+		flight := c.sndNxt - c.sndUna
+		if flight >= wnd {
+			return
+		}
+		n := wnd - flight
+		if n > mss {
+			n = mss
+		}
+		if n > streamEnd-c.sndNxt {
+			n = streamEnd - c.sndNxt
+		}
+		if n == 0 {
+			return
+		}
+		off := c.sndNxt - c.bufBase
+		data := make([]byte, n)
+		copy(data, c.sndBuf[off:off+n])
+		s := c.seg(FlagACK, c.sndNxt, data)
+		if c.sndNxt < c.maxSent {
+			s.Retrans = true // go-back-N resend after an RTO
+		} else {
+			c.startTimed(c.sndNxt + n) // Karn: time first transmissions only
+		}
+		c.transmit(s)
+		c.sndNxt += n
+		if c.sndNxt > c.maxSent {
+			c.maxSent = c.sndNxt
+		}
+		if !c.timerArmed {
+			c.armTimer(c.rto)
+		}
+	}
+
+	if c.finQueued && !c.finSent && c.sndNxt == streamEnd {
+		c.finSent = true
+		c.finSeq = streamEnd
+		s := c.seg(FlagFIN|FlagACK, c.finSeq, nil)
+		if c.finSeq < c.maxSent {
+			s.Retrans = true
+		}
+		c.transmit(s)
+		c.sndNxt = streamEnd + 1
+		if c.sndNxt > c.maxSent {
+			c.maxSent = c.sndNxt
+		}
+		if !c.timerArmed {
+			c.armTimer(c.rto)
+		}
+	}
+}
+
+// abort force-closes the connection after repeated unanswered
+// retransmissions. OnClose fires (once) so the application learns the
+// stream ended.
+func (c *Conn) abort() {
+	if c.st == stateClosed {
+		return
+	}
+	c.st = stateClosed
+	c.cancelTimer()
+	c.ep.remove(c)
+	if !c.closedUp {
+		c.closedUp = true
+		if c.OnClose != nil {
+			c.OnClose()
+		}
+	}
+}
+
+// maybeFinish tears the connection down once both directions are done:
+// our FIN acknowledged and the peer's FIN received (or we never sent one
+// but the peer closed and we have closed too).
+func (c *Conn) maybeFinish() {
+	if c.st == stateClosed {
+		return
+	}
+	if c.finSent && c.finAcked && c.closedUp {
+		c.st = stateClosed
+		c.cancelTimer()
+		c.ep.remove(c)
+	}
+}

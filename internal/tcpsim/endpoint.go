@@ -1,0 +1,154 @@
+package tcpsim
+
+import (
+	"fmt"
+
+	"fesplit/internal/simnet"
+)
+
+// connKey demultiplexes segments to connections.
+type connKey struct {
+	remote     simnet.HostID
+	remotePort uint16
+	localPort  uint16
+}
+
+// Listener accepts incoming connections on a port.
+type Listener struct {
+	ep     *Endpoint
+	port   uint16
+	accept func(*Conn)
+	closed bool
+}
+
+// Close stops accepting new connections; established ones are unaffected.
+func (l *Listener) Close() {
+	l.closed = true
+	delete(l.ep.listeners, l.port)
+}
+
+// Port returns the listening port.
+func (l *Listener) Port() uint16 { return l.port }
+
+// Endpoint is a host's TCP stack: it owns every connection and listener
+// of that host and demultiplexes incoming segments. Create one per
+// simulated host with NewEndpoint; it attaches itself to the network.
+type Endpoint struct {
+	host      simnet.HostID
+	net       *simnet.Network
+	cfg       Config
+	conns     map[connKey]*Conn
+	listeners map[uint16]*Listener
+	nextPort  uint16
+
+	// Tap, when non-nil, observes every segment this endpoint sends or
+	// receives. Used for packet capture.
+	Tap func(TapEvent)
+}
+
+// NewEndpoint creates a TCP stack for host and attaches it to n.
+func NewEndpoint(n *simnet.Network, host simnet.HostID, cfg Config) *Endpoint {
+	ep := &Endpoint{
+		host:      host,
+		net:       n,
+		cfg:       cfg.withDefaults(),
+		conns:     make(map[connKey]*Conn),
+		listeners: make(map[uint16]*Listener),
+		nextPort:  40000,
+	}
+	n.Attach(host, ep)
+	return ep
+}
+
+// Host returns this endpoint's host ID.
+func (e *Endpoint) Host() simnet.HostID { return e.host }
+
+// Config returns the endpoint's effective (default-filled) configuration.
+func (e *Endpoint) Config() Config { return e.cfg }
+
+// Sim returns the underlying simulator.
+func (e *Endpoint) Sim() *simnet.Sim { return e.net.Sim() }
+
+// Listen starts accepting connections on port, invoking accept for each
+// new connection once the handshake's final ACK arrives.
+func (e *Endpoint) Listen(port uint16, accept func(*Conn)) (*Listener, error) {
+	if _, busy := e.listeners[port]; busy {
+		return nil, fmt.Errorf("tcpsim: %s port %d already listening", e.host, port)
+	}
+	l := &Listener{ep: e, port: port, accept: accept}
+	e.listeners[port] = l
+	return l, nil
+}
+
+// Dial opens a connection to remote:port. The returned Conn is in
+// SYN_SENT; its OnConnect callback (set it before the simulator runs the
+// handshake) fires when the SYN-ACK arrives.
+func (e *Endpoint) Dial(remote simnet.HostID, port uint16) *Conn {
+	local := e.allocPort()
+	c := newConn(e, remote, port, local, false)
+	e.conns[connKey{remote, port, local}] = c
+	c.sendSYN()
+	return c
+}
+
+func (e *Endpoint) allocPort() uint16 {
+	for {
+		p := e.nextPort
+		e.nextPort++
+		if e.nextPort < 40000 {
+			e.nextPort = 40000
+		}
+		if _, taken := e.listeners[p]; !taken {
+			return p
+		}
+	}
+}
+
+// Deliver implements simnet.Handler: demultiplex to a connection or a
+// listener.
+func (e *Endpoint) Deliver(pkt simnet.Packet) {
+	seg, ok := pkt.Payload.(Segment)
+	if !ok {
+		return // not TCP; ignore
+	}
+	if e.Tap != nil {
+		e.Tap(TapEvent{Time: e.Sim().Now(), Dir: DirRecv, Remote: string(pkt.From), Segment: seg})
+	}
+	key := connKey{pkt.From, seg.SrcPort, seg.DstPort}
+	if c, ok := e.conns[key]; ok {
+		c.handle(seg)
+		return
+	}
+	// New connection? Only a SYN to a listening port is acceptable.
+	if seg.Flags&FlagSYN != 0 && seg.Flags&FlagACK == 0 {
+		if l, ok := e.listeners[seg.DstPort]; ok && !l.closed {
+			c := newConn(e, pkt.From, seg.SrcPort, seg.DstPort, true)
+			c.acceptFn = l.accept
+			e.conns[key] = c
+			c.handle(seg)
+		}
+	}
+	// Anything else (stray segment to a closed conn) is dropped; real
+	// stacks send RST, which nothing in this simulation would consume.
+}
+
+// send transmits a segment to remote, invoking the tap.
+func (e *Endpoint) send(remote simnet.HostID, seg Segment) {
+	if e.Tap != nil {
+		e.Tap(TapEvent{Time: e.Sim().Now(), Dir: DirSend, Remote: string(remote), Segment: seg})
+	}
+	e.net.Send(simnet.Packet{
+		From:    e.host,
+		To:      remote,
+		Size:    e.cfg.HeaderSize + len(seg.Data),
+		Payload: seg,
+	})
+}
+
+// remove drops a connection from the demux table.
+func (e *Endpoint) remove(c *Conn) {
+	delete(e.conns, connKey{c.remote, c.remotePort, c.localPort})
+}
+
+// OpenConns returns the number of tracked connections (testing aid).
+func (e *Endpoint) OpenConns() int { return len(e.conns) }

@@ -1,0 +1,274 @@
+// Package trace parses captured client-side packet events into the
+// paper's Figure-2 session timeline:
+//
+//	tb ─ SYN sent            t1 ─ GET sent
+//	t2 ─ ACK of GET          t3 ─ first static-content packet
+//	t4 ─ last static packet  t5 ─ first dynamic-content packet
+//	te ─ last payload packet
+//
+// t4 and t5 depend on where the static portion ends; the boundary is
+// found either by cross-query content analysis (analysis.StaticBoundary)
+// or by per-session temporal clustering (Session.TemporalBoundary), and
+// then located in the byte stream with Session.Locate.
+package trace
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"fesplit/internal/capture"
+	"fesplit/internal/tcpsim"
+)
+
+// Errors returned by Parse.
+var (
+	ErrNoHandshake = errors.New("trace: no complete handshake in session")
+	ErrNoRequest   = errors.New("trace: no outbound request in session")
+	ErrNoResponse  = errors.New("trace: no response payload in session")
+)
+
+// arrival records the first client arrival of a contiguous byte range of
+// the response stream. Offsets are 0-based stream offsets (TCP seq − 1).
+type arrival struct {
+	start, end int // [start, end)
+	at         time.Duration
+}
+
+// Session is one parsed query session.
+type Session struct {
+	Key capture.ConnKey
+
+	// Timeline (Figure 2). T4 and T5 are zero until Locate is called.
+	TB time.Duration // first SYN sent
+	T1 time.Duration // GET sent
+	T2 time.Duration // ACK of GET received
+	T3 time.Duration // first response payload byte received
+	T4 time.Duration // last static byte received (after Locate)
+	T5 time.Duration // first dynamic byte received (after Locate)
+	TE time.Duration // last response payload received
+
+	// RTT is the handshake round-trip (SYN → SYN|ACK).
+	RTT time.Duration
+
+	// Payload is the reassembled response byte stream (HTTP header
+	// included — the paper counts it as static content). For traces
+	// captured with payload snapping, Payload holds zeroes where bytes
+	// were not captured; PayloadComplete reports whether every byte is
+	// genuine.
+	Payload []byte
+	// PayloadComplete is false when any inbound payload bytes were
+	// snapped at capture time (timeline analysis still valid; content
+	// analysis is not).
+	PayloadComplete bool
+
+	// Retransmissions seen in the capture (inbound data marked
+	// retransmitted).
+	Retransmissions int
+
+	arrivals []arrival // sorted by stream offset, first arrivals only
+	boundary int       // located static/dynamic boundary, -1 if not set
+}
+
+// Parse reconstructs a Session from one connection's client-side events.
+// Events must be in capture (time) order.
+func Parse(key capture.ConnKey, events []capture.Event) (*Session, error) {
+	s := &Session{Key: key, boundary: -1, PayloadComplete: true}
+	var (
+		sawSYN, sawSYNACK, sawGET, sawAckOfGET bool
+		reqLen                                 uint64
+	)
+	type chunk struct {
+		start, end int
+		at         time.Duration
+	}
+	var chunks []chunk
+
+	for _, ev := range events {
+		seg := ev.Seg
+		// Payload length survives snapping (tcpdump snaplen-style
+		// captures drop bytes but keep sizes).
+		plen := len(seg.Data)
+		if ev.PayloadLen > plen {
+			plen = ev.PayloadLen
+		}
+		switch ev.Dir {
+		case tcpsim.DirSend:
+			if seg.Flags&tcpsim.FlagSYN != 0 && !sawSYN {
+				sawSYN = true
+				s.TB = ev.Time
+			}
+			if plen > 0 && !sawGET {
+				sawGET = true
+				s.T1 = ev.Time
+				reqLen = seg.Seq + uint64(plen) - 1 // bytes of request stream
+			}
+		case tcpsim.DirRecv:
+			if seg.Flags&tcpsim.FlagSYN != 0 && seg.Flags&tcpsim.FlagACK != 0 && !sawSYNACK {
+				sawSYNACK = true
+				s.RTT = ev.Time - s.TB
+			}
+			if !sawAckOfGET && sawGET && seg.Flags&tcpsim.FlagACK != 0 && seg.Ack > reqLen {
+				sawAckOfGET = true
+				s.T2 = ev.Time
+			}
+			if plen > 0 {
+				if seg.Retrans {
+					s.Retransmissions++
+				}
+				if ev.Snapped() {
+					s.PayloadComplete = false
+				}
+				start := int(seg.Seq - 1) // response stream offset
+				chunks = append(chunks, chunk{start: start, end: start + plen, at: ev.Time})
+				if len(chunks) == 1 {
+					s.T3 = ev.Time
+				}
+				// Reassemble whatever bytes were captured.
+				if need := chunks[len(chunks)-1].end; need > len(s.Payload) {
+					s.Payload = append(s.Payload, make([]byte, need-len(s.Payload))...)
+				}
+				copy(s.Payload[start:], seg.Data)
+			}
+		}
+	}
+	if !sawSYN || !sawSYNACK {
+		return nil, ErrNoHandshake
+	}
+	if !sawGET {
+		return nil, ErrNoRequest
+	}
+	if len(chunks) == 0 {
+		return nil, ErrNoResponse
+	}
+
+	// First-arrival map: earliest time each stream offset was received.
+	// Chunks are in time order, so keep only ranges not fully covered.
+	covered := make([]bool, len(s.Payload))
+	for _, c := range chunks {
+		segStart := -1
+		for off := c.start; off < c.end && off < len(covered); off++ {
+			if !covered[off] {
+				covered[off] = true
+				if segStart < 0 {
+					segStart = off
+				}
+			} else if segStart >= 0 {
+				s.arrivals = append(s.arrivals, arrival{start: segStart, end: off, at: c.at})
+				segStart = -1
+			}
+		}
+		if segStart >= 0 {
+			s.arrivals = append(s.arrivals, arrival{start: segStart, end: c.end, at: c.at})
+		}
+		if c.at > s.TE {
+			s.TE = c.at
+		}
+	}
+	sort.Slice(s.arrivals, func(i, j int) bool { return s.arrivals[i].start < s.arrivals[j].start })
+	return s, nil
+}
+
+// ArrivalOf returns the first time the byte at stream offset arrived.
+func (s *Session) ArrivalOf(offset int) (time.Duration, error) {
+	for _, a := range s.arrivals {
+		if offset >= a.start && offset < a.end {
+			return a.at, nil
+		}
+	}
+	return 0, fmt.Errorf("trace: offset %d never received (stream len %d)", offset, len(s.Payload))
+}
+
+// Locate sets T4/T5 for the given static/dynamic boundary: the static
+// portion is Payload[:boundary], the dynamic portion Payload[boundary:].
+func (s *Session) Locate(boundary int) error {
+	if boundary <= 0 || boundary >= len(s.Payload) {
+		return fmt.Errorf("trace: boundary %d outside stream (len %d)", boundary, len(s.Payload))
+	}
+	t4, err := s.ArrivalOf(boundary - 1)
+	if err != nil {
+		return err
+	}
+	t5, err := s.ArrivalOf(boundary)
+	if err != nil {
+		return err
+	}
+	s.T4, s.T5 = t4, t5
+	s.boundary = boundary
+	return nil
+}
+
+// Boundary returns the located boundary, or -1.
+func (s *Session) Boundary() int { return s.boundary }
+
+// Measured parameters (valid after Locate):
+
+// Tstatic is t4 − t2: static-portion processing+delivery beyond one RTT.
+func (s *Session) Tstatic() time.Duration { return s.T4 - s.T2 }
+
+// Tdynamic is t5 − t2: the upper bound on the FE-BE fetch time.
+func (s *Session) Tdynamic() time.Duration { return s.T5 - s.T2 }
+
+// Tdelta is t5 − t4: the lower bound on the FE-BE fetch time.
+func (s *Session) Tdelta() time.Duration { return s.T5 - s.T4 }
+
+// Overall is te − tb: the user-perceived response time.
+func (s *Session) Overall() time.Duration { return s.TE - s.TB }
+
+// ChunkStartAtOrBelow returns the largest first-arrival chunk start that
+// is ≤ off, or -1 when no chunk starts at or below off. Content analysis
+// overshoots the true static/dynamic boundary when dynamic bodies share
+// a templated prefix; snapping the byte-level LCP down to a packet edge
+// reconciles it with the transport-level reality, as the paper does by
+// combining content analysis with temporal clustering.
+func (s *Session) ChunkStartAtOrBelow(off int) int {
+	best := -1
+	for _, a := range s.arrivals {
+		if a.start <= off && a.start > best {
+			best = a.start
+		}
+	}
+	return best
+}
+
+// TemporalBoundary estimates the static/dynamic boundary from packet
+// timing alone: the byte offset following the largest inter-arrival gap,
+// provided that gap dominates (≥ domFactor× the next largest and ≥
+// minGap). This reproduces the paper's temporal clustering, which is
+// reliable at small RTT and degrades as the clusters merge.
+func (s *Session) TemporalBoundary(minGap time.Duration, domFactor float64) (int, bool) {
+	if len(s.arrivals) < 2 {
+		return 0, false
+	}
+	// Arrivals sorted by offset; in a well-formed session times are
+	// (weakly) increasing with offset for first arrivals.
+	var gap1, gap2 time.Duration
+	idx := -1
+	for i := 1; i < len(s.arrivals); i++ {
+		g := s.arrivals[i].at - s.arrivals[i-1].at
+		if g > gap1 {
+			gap2 = gap1
+			gap1 = g
+			idx = i
+		} else if g > gap2 {
+			gap2 = g
+		}
+	}
+	if idx < 0 || gap1 < minGap {
+		return 0, false
+	}
+	if gap2 > 0 && float64(gap1) < domFactor*float64(gap2) {
+		return 0, false
+	}
+	return s.arrivals[idx].start, true
+}
+
+// String summarizes the session timeline for debugging and reports.
+func (s *Session) String() string {
+	b := s.boundary
+	return fmt.Sprintf(
+		"session(%s:%d rtt=%v t1=%v t2=%v t3=%v t4=%v t5=%v te=%v bytes=%d boundary=%d retrans=%d complete=%v)",
+		s.Key.Remote, s.Key.LocalPort, s.RTT, s.T1, s.T2, s.T3, s.T4, s.T5, s.TE,
+		len(s.Payload), b, s.Retransmissions, s.PayloadComplete)
+}

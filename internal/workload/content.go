@@ -1,0 +1,145 @@
+package workload
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"fesplit/internal/stats"
+)
+
+// ContentSpec parameterizes search-result synthesis for one service.
+// Sizes reflect 2011-era result pages: a few KB of static boilerplate
+// and tens of KB of dynamic results.
+type ContentSpec struct {
+	// ServiceName brands the static portion (it must be identical for
+	// every query to the same service, and differ across services).
+	ServiceName string
+	// StaticSize is the exact byte length of the static prefix.
+	StaticSize int
+	// DynamicBase is the base byte length of the dynamic portion.
+	DynamicBase int
+	// DynamicPerTerm adds bytes per query term (refined queries return
+	// richer snippets).
+	DynamicPerTerm int
+}
+
+// DefaultContentSpec mirrors measured 2011 SERP proportions.
+func DefaultContentSpec(service string) ContentSpec {
+	return ContentSpec{
+		ServiceName:    service,
+		StaticSize:     8 << 10,  // 8 KB: HTTP+HTML headers, CSS, menu bar
+		DynamicBase:    20 << 10, // 20 KB: results + ads
+		DynamicPerTerm: 512,
+	}
+}
+
+// StaticPrefix returns the service's static content portion. It is a
+// pure function of the spec — identical for every query — so the
+// analyzer's longest-common-prefix content analysis identifies it, just
+// as the paper's cross-keyword content comparison did. The prefix
+// contains the recognizable boilerplate the paper names: HTML header,
+// CSS styles, and the static menu bar ("Videos, News, Shopping...").
+func (s ContentSpec) StaticPrefix() []byte {
+	var b bytes.Buffer
+	fmt.Fprintf(&b, "<!DOCTYPE html>\n<html>\n<head>\n<title>%s search</title>\n", s.ServiceName)
+	b.WriteString("<style>\nbody{font:13px arial}#menu{background:#eee}.res{margin:6px}\n")
+	b.WriteString(".ad{color:#060}.url{color:#093}\n</style>\n</head>\n<body>\n")
+	b.WriteString(`<div id="menu">Web | Videos | News | Shopping | Images | Maps | More</div>` + "\n")
+	fmt.Fprintf(&b, `<div id="logo" service=%q>`, s.ServiceName)
+	b.WriteString("\n<!-- static-cache-boundary padding: ")
+	// Deterministic filler to hit StaticSize exactly.
+	const filler = "abcdefghijklmnopqrstuvwxyz0123456789"
+	for b.Len() < s.StaticSize-4 {
+		n := s.StaticSize - 4 - b.Len()
+		if n > len(filler) {
+			n = len(filler)
+		}
+		b.WriteString(filler[:n])
+	}
+	b.WriteString(" -->\n")
+	out := b.Bytes()
+	if len(out) > s.StaticSize {
+		out = out[:s.StaticSize]
+	}
+	return out
+}
+
+// DynamicBody synthesizes the query-dependent portion: dynamic menu
+// entries, search results and ads. The rng makes ad blocks and snippet
+// lengths vary run to run (deterministically per seed); the keyword
+// string appears throughout, so no two distinct queries share a body.
+func (s ContentSpec) DynamicBody(q Query, rng *rand.Rand) []byte {
+	var b bytes.Buffer
+	fmt.Fprintf(&b, `<div id="dynmenu">related: %s images, %s news</div>`+"\n", q.Keywords, q.Keywords)
+	target := s.DynamicSize(q)
+	i := 0
+	for b.Len() < target-128 {
+		i++
+		if rng.Float64() < 0.15 {
+			fmt.Fprintf(&b, `<div class="ad">Ad %d — buy %s now! sponsored-link-%06d</div>`+"\n",
+				i, q.Keywords, rng.Intn(1e6))
+			continue
+		}
+		fmt.Fprintf(&b, `<div class="res"><a href="http://example-%06d.org/%d">%s — result %d</a>`,
+			rng.Intn(1e6), q.ID, q.Keywords, i)
+		fmt.Fprintf(&b, `<span class="url">example-%06d.org</span><p>snippet about %s`,
+			rng.Intn(1e6), q.Keywords)
+		// Variable-length snippet filler.
+		n := 40 + rng.Intn(120)
+		for j := 0; j < n; j++ {
+			b.WriteByte(byte('a' + (i+j)%26))
+		}
+		b.WriteString("</p></div>\n")
+	}
+	fmt.Fprintf(&b, "</div>\n</body>\n</html>\n<!-- qid=%d -->", q.ID)
+	return b.Bytes()
+}
+
+// DynamicSize returns the target dynamic-portion size for a query.
+func (s ContentSpec) DynamicSize(q Query) int {
+	return s.DynamicBase + s.DynamicPerTerm*q.Terms
+}
+
+// CostModel maps a query to back-end processing time — the paper's
+// T_proc, the dominant component of the FE-BE fetch time that Section 5
+// estimates via the regression intercept (~260 ms for Bing, ~34 ms for
+// Google).
+type CostModel struct {
+	// Base is the floor processing time of any query.
+	Base time.Duration
+	// PerTerm adds cost per query term (complex queries cost more).
+	PerTerm time.Duration
+	// PopularDiscount scales cost for head-of-Zipf queries whose
+	// results the back-end index serves from warm internal caches
+	// (NOT the FE result cache — the paper shows FEs don't cache
+	// results). 1.0 disables the effect.
+	PopularDiscount float64
+	// CV is the coefficient of variation of the lognormal noise on
+	// each sample: Bing's fetch times are "larger and show higher
+	// variability", Google's "smaller and more stable".
+	CV float64
+	// LoadAmplitude scales a slowly-varying AR(1) load term added
+	// multiplicatively: 0.2 means ±~20% swings.
+	LoadAmplitude float64
+}
+
+// Sample draws the processing time of one query. load should be the
+// current value of the data center's AR(1) load process in [-1, 1]-ish
+// range (pass 0 for an unloaded BE).
+func (m CostModel) Sample(q Query, load float64, rng *rand.Rand) time.Duration {
+	mean := float64(m.Base) + float64(m.PerTerm)*float64(q.Terms)
+	if m.PopularDiscount > 0 && m.PopularDiscount < 1 && q.Rank < NumRanks/100 {
+		mean *= m.PopularDiscount
+	}
+	mean *= 1 + m.LoadAmplitude*load
+	if mean < float64(time.Millisecond) {
+		mean = float64(time.Millisecond)
+	}
+	if m.CV <= 0 {
+		return time.Duration(mean)
+	}
+	ln := stats.LogNormalFromMeanCV(mean, m.CV)
+	return time.Duration(ln.Draw(rng))
+}
