@@ -3,9 +3,17 @@
 
 GO ?= go
 
-.PHONY: all build test vet bench report report-full examples clean
+.PHONY: all build test vet bench bench-json check report report-full examples clean
 
 all: build vet test
+
+# CI-equivalent verification: vet, build, race-clean tests. The
+# observability instrumentation must stay goroutine-free; -race proves
+# the simulation stays single-threaded.
+check:
+	$(GO) vet ./...
+	$(GO) build ./...
+	$(GO) test -race ./...
 
 build:
 	$(GO) build ./...
@@ -25,6 +33,12 @@ cover:
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Perf-trajectory snapshot: root study benchmarks plus the simnet and
+# tcpsim micro-benchmarks, recorded as BENCH_1.json (name → ns/op,
+# B/op, allocs/op). Later PRs diff new snapshots against this file.
+bench-json:
+	$(GO) run ./cmd/benchjson -o BENCH_1.json
 
 # Light-scale figure regeneration (seconds).
 report: build

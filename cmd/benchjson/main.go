@@ -1,0 +1,133 @@
+// Command benchjson runs the repository's Go benchmarks and records the
+// results as a JSON perf-trajectory file (name → ns/op, B/op, allocs/op).
+// The ROADMAP's perf PRs diff these files across revisions, so the
+// output is deterministic in shape: benchmarks sorted by name, stable
+// field order, trailing newline.
+//
+// Usage:
+//
+//	benchjson [-o BENCH_1.json] [-bench REGEXP] [-benchtime 1s] [PKG ...]
+//
+// With no packages the root benchmarks plus the simnet and tcpsim
+// micro-benchmarks are run — the set the instrumentation-overhead
+// acceptance gates compare against.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"regexp"
+	"sort"
+	"strconv"
+)
+
+// Result is one benchmark's measured costs.
+type Result struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	Iterations  int64   `json:"iterations"`
+}
+
+// benchLine matches `go test -bench -benchmem` result lines, e.g.
+//
+//	BenchmarkEventThroughput-8   3022214   396.1 ns/op   133 B/op   2 allocs/op
+var benchLine = regexp.MustCompile(
+	`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([\d.]+) ns/op(?:\s+([\d.]+) B/op)?(?:\s+(\d+) allocs/op)?`)
+
+func main() {
+	out := flag.String("o", "BENCH_1.json", "output JSON file")
+	bench := flag.String("bench", ".", "benchmark regexp passed to go test")
+	benchtime := flag.String("benchtime", "1s", "benchtime passed to go test")
+	flag.Parse()
+
+	pkgs := flag.Args()
+	if len(pkgs) == 0 {
+		pkgs = []string{".", "./internal/simnet", "./internal/tcpsim"}
+	}
+
+	results := map[string]Result{}
+	for _, pkg := range pkgs {
+		if err := runPkg(pkg, *bench, *benchtime, results); err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %s: %v\n", pkg, err)
+			os.Exit(1)
+		}
+	}
+	if len(results) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark results parsed")
+		os.Exit(1)
+	}
+	if err := writeJSON(*out, results); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %d benchmark results to %s\n", len(results), *out)
+}
+
+// runPkg runs one package's benchmarks and folds parsed lines into
+// results. Benchmarks are identified by bare name; a name collision
+// across packages keeps the later package's numbers.
+func runPkg(pkg, bench, benchtime string, results map[string]Result) error {
+	cmd := exec.Command("go", "test", "-run", "^$",
+		"-bench", bench, "-benchmem", "-benchtime", benchtime, pkg)
+	var buf bytes.Buffer
+	cmd.Stdout = &buf
+	cmd.Stderr = os.Stderr
+	if err := cmd.Run(); err != nil {
+		return fmt.Errorf("go test -bench: %w", err)
+	}
+	sc := bufio.NewScanner(&buf)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		iters, _ := strconv.ParseInt(m[2], 10, 64)
+		ns, _ := strconv.ParseFloat(m[3], 64)
+		var bytesOp, allocs float64
+		if m[4] != "" {
+			bytesOp, _ = strconv.ParseFloat(m[4], 64)
+		}
+		if m[5] != "" {
+			allocs, _ = strconv.ParseFloat(m[5], 64)
+		}
+		results[m[1]] = Result{
+			NsPerOp:     ns,
+			BytesPerOp:  bytesOp,
+			AllocsPerOp: allocs,
+			Iterations:  iters,
+		}
+	}
+	return sc.Err()
+}
+
+// writeJSON renders the results with sorted keys and stable formatting
+// (encoding/json map ordering is already sorted, but hand-rolling keeps
+// the float formatting fixed-width-free and diff-friendly).
+func writeJSON(path string, results map[string]Result) error {
+	names := make([]string, 0, len(results))
+	for n := range results {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var b bytes.Buffer
+	b.WriteString("{\n")
+	for i, n := range names {
+		r := results[n]
+		fmt.Fprintf(&b, "  %q: {\"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s, \"iterations\": %d}",
+			n, fnum(r.NsPerOp), fnum(r.BytesPerOp), fnum(r.AllocsPerOp), r.Iterations)
+		if i < len(names)-1 {
+			b.WriteByte(',')
+		}
+		b.WriteByte('\n')
+	}
+	b.WriteString("}\n")
+	return os.WriteFile(path, b.Bytes(), 0o644)
+}
+
+func fnum(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }

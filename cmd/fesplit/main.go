@@ -8,6 +8,7 @@
 //	fesplit direct       [-seed N] [-service google|bing] [-nodes N]
 //	fesplit trace        [-seed N] [-rtt MS] [-o FILE]
 //	fesplit decode       FILE
+//	fesplit obs          [-seed N] [-service google|bing] [-nodes N] [-dir DIR]
 //	fesplit interactive  [-seed N] [-q KEYWORDS]
 //	fesplit live         [-seed N] [-proc MS] [-oneway MS] [-n QUERIES]
 package main
@@ -22,6 +23,7 @@ import (
 	"fesplit/internal/analysis"
 	"fesplit/internal/capture"
 	"fesplit/internal/livenet"
+	"fesplit/internal/tcpsim"
 	"fesplit/internal/workload"
 )
 
@@ -42,6 +44,8 @@ func main() {
 		err = cmdTrace(os.Args[2:])
 	case "decode":
 		err = cmdDecode(os.Args[2:])
+	case "obs":
+		err = cmdObs(os.Args[2:])
 	case "interactive":
 		err = cmdInteractive(os.Args[2:])
 	case "live":
@@ -69,6 +73,8 @@ commands:
   direct       no-FE baseline: clients straight to the data center
   trace        capture one query session and print its packet timeline
   decode       print a binary trace file captured with 'trace -o'
+  obs          run a seeded observed experiment and export Chrome trace,
+               Prometheus metrics and JSONL spans
   interactive  run the Section-6 search-as-you-type probe
   live         run the architecture over real TCP sockets (loopback)
 
@@ -223,6 +229,7 @@ func cmdTrace(args []string) error {
 		fmt.Printf("%10.2f %5s %8d %s\n",
 			float64(ev.Time-start)/1e6, ev.Dir, len(ev.Seg.Data), ev.Seg.Flags)
 	}
+	fmt.Println(traceSummary(tr))
 	if *out != "" {
 		f, err := os.Create(*out)
 		if err != nil {
@@ -235,6 +242,29 @@ func cmdTrace(args []string) error {
 		fmt.Printf("\n(wrote binary trace with %d events to %s)\n", len(tr.Events), *out)
 	}
 	return nil
+}
+
+// traceSummary condenses a packet trace into one metrics line.
+func traceSummary(tr *capture.Trace) string {
+	var sent, recv, retrans, payload int
+	for _, ev := range tr.Events {
+		plen := ev.PayloadLen
+		if l := len(ev.Seg.Data); l > plen {
+			plen = l
+		}
+		payload += plen
+		if ev.Seg.Retrans {
+			retrans++
+		}
+		if ev.Dir == tcpsim.DirSend {
+			sent++
+		} else {
+			recv++
+		}
+	}
+	keys, _ := tr.Sessions()
+	return fmt.Sprintf("summary: %d sessions, %d packets (%d sent / %d received), %d retransmitted, %d payload bytes",
+		len(keys), len(tr.Events), sent, recv, retrans, payload)
 }
 
 func cmdDecode(args []string) error {
@@ -252,9 +282,10 @@ func cmdDecode(args []string) error {
 	defer f.Close()
 	tr, err := capture.Decode(f)
 	if err != nil {
-		return err
+		return fmt.Errorf("decode: %s is not a valid fesplit trace: %w", fs.Arg(0), err)
 	}
 	tr.WriteText(os.Stdout, 200)
+	fmt.Println(traceSummary(tr))
 	return nil
 }
 

@@ -1,0 +1,145 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	_ "net/http/pprof"
+	"os"
+	"path/filepath"
+	"runtime/pprof"
+	"time"
+
+	"fesplit"
+	"fesplit/internal/obs"
+)
+
+// cmdObs runs a small seeded Experiment A with the full observability
+// layer enabled and exports all three views of the run: a Chrome
+// trace-event file (open in Perfetto / chrome://tracing), a Prometheus
+// text exposition, and a JSONL span dump. Same seed → byte-identical
+// files.
+func cmdObs(args []string) error {
+	fs := flag.NewFlagSet("obs", flag.ExitOnError)
+	seed := fs.Int64("seed", 42, "experiment seed")
+	service := fs.String("service", "google", "deployment flavor: google or bing")
+	nodes := fs.Int("nodes", 12, "vantage nodes")
+	queries := fs.Int("queries", 6, "queries per node")
+	dir := fs.String("dir", "obs-out", "output directory for the exported files")
+	pprofAddr := fs.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile of the run to FILE")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var cfg fesplit.DeploymentConfig
+	switch *service {
+	case "google":
+		cfg = fesplit.GoogleLike(*seed)
+	case "bing":
+		cfg = fesplit.BingLike(*seed)
+	default:
+		return fmt.Errorf("unknown service %q", *service)
+	}
+	if *pprofAddr != "" {
+		go func() {
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "fesplit: pprof server:", err)
+			}
+		}()
+		fmt.Fprintf(os.Stderr, "pprof listening on http://%s/debug/pprof/\n", *pprofAddr)
+	}
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
+
+	o := obs.NewObserver()
+	runner, err := fesplit.NewRunner(*seed, cfg, fesplit.RunnerOptions{
+		Nodes:     *nodes,
+		FleetSeed: *seed + 1,
+		Obs:       o,
+	})
+	if err != nil {
+		return err
+	}
+	ds := runner.RunExperimentA(fesplit.ExperimentAOptions{
+		QueriesPerNode: *queries,
+		Interval:       2 * time.Second,
+		QuerySeed:      *seed + 2,
+	})
+
+	if err := os.MkdirAll(*dir, 0o755); err != nil {
+		return err
+	}
+	files := []struct {
+		name  string
+		write func(f *os.File) error
+	}{
+		{"trace.json", func(f *os.File) error { return obs.WriteChromeTrace(f, o.Spans) }},
+		{"metrics.prom", func(f *os.File) error { return obs.WritePrometheus(f, o.Reg) }},
+		{"spans.jsonl", func(f *os.File) error { return obs.WriteSpansJSONL(f, o.Spans) }},
+	}
+	for _, out := range files {
+		f, err := os.Create(filepath.Join(*dir, out.name))
+		if err != nil {
+			return err
+		}
+		if err := out.write(f); err != nil {
+			f.Close()
+			return fmt.Errorf("writing %s: %w", out.name, err)
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+
+	fmt.Printf("observed %s-like run: seed %d, %d nodes × %d queries\n",
+		*service, *seed, *nodes, *queries)
+	fmt.Printf("  records: %d (%d failed), spans: %d, metric families: %d\n",
+		len(ds.Records), countFailed(ds), o.Spans.Len(), len(o.Reg.Families()))
+	fmt.Println(metricsSummary(o.Reg))
+	for _, out := range files {
+		fmt.Printf("  wrote %s\n", filepath.Join(*dir, out.name))
+	}
+	fmt.Println("open trace.json in https://ui.perfetto.dev or chrome://tracing")
+	return nil
+}
+
+func countFailed(ds *fesplit.Dataset) int {
+	n := 0
+	for _, r := range ds.Records {
+		if r.Failed {
+			n++
+		}
+	}
+	return n
+}
+
+// metricsSummary renders the one-line counters line shared by the obs,
+// trace and decode commands.
+func metricsSummary(reg *obs.Registry) string {
+	v := func(name string) float64 {
+		total := 0.0
+		for _, f := range reg.Families() {
+			if f.Name != name {
+				continue
+			}
+			for _, s := range f.Series() {
+				if s.Counter != nil {
+					total += s.Counter.Value()
+				}
+			}
+		}
+		return total
+	}
+	return fmt.Sprintf("  events: %.0f, packets: %.0f (%.0f dropped), tcp segments: %.0f (%.0f retransmitted)",
+		v("sim_events_executed_total"), v("net_packets_sent_total"), v("net_packets_dropped_total"),
+		v("tcp_segments_sent_total"), v("tcp_retransmits_total"))
+}

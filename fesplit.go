@@ -27,6 +27,8 @@
 package fesplit
 
 import (
+	"io"
+
 	"fesplit/internal/analysis"
 	"fesplit/internal/baseline"
 	"fesplit/internal/capture"
@@ -35,6 +37,7 @@ import (
 	"fesplit/internal/emulator"
 	"fesplit/internal/frontend"
 	"fesplit/internal/geo"
+	"fesplit/internal/obs"
 	"fesplit/internal/stats"
 	"fesplit/internal/tcpsim"
 	"fesplit/internal/trace"
@@ -98,6 +101,34 @@ type (
 	// delayed ACKs, RTO bounds).
 	TCPConfig = tcpsim.Config
 )
+
+// Observability. Pass an Observer via RunnerOptions.Obs to collect
+// sim-time metrics and one causal span tree per query; export with
+// WritePrometheus, WriteChromeTrace and WriteSpansJSONL.
+type (
+	// Observer bundles a metrics registry and a span tracer.
+	Observer = obs.Observer
+	// MetricsRegistry holds deterministic counters/gauges/histograms.
+	MetricsRegistry = obs.Registry
+	// Span is one node of a per-query causal span tree.
+	Span = obs.Span
+	// SpanTracer accumulates finished span trees.
+	SpanTracer = obs.Tracer
+)
+
+// NewObserver creates an observer with a registry and a span tracer.
+func NewObserver() *Observer { return obs.NewObserver() }
+
+// WritePrometheus renders a registry in Prometheus text exposition
+// format (sorted, deterministic).
+func WritePrometheus(w io.Writer, r *MetricsRegistry) error { return obs.WritePrometheus(w, r) }
+
+// WriteChromeTrace renders collected spans as a Chrome trace-event file
+// (open in Perfetto or chrome://tracing).
+func WriteChromeTrace(w io.Writer, t *SpanTracer) error { return obs.WriteChromeTrace(w, t) }
+
+// WriteSpansJSONL renders collected spans as one JSON object per line.
+func WriteSpansJSONL(w io.Writer, t *SpanTracer) error { return obs.WriteSpansJSONL(w, t) }
 
 // GoogleLike returns the calibrated Google-style deployment config:
 // sparse dedicated FEs, fast stable back-ends.

@@ -95,6 +95,9 @@ type DataCenter struct {
 	served    int
 	cacheHits int
 	maxQueue  int
+
+	// observability (StartObserving)
+	met *beMetrics
 }
 
 type beJob struct {
@@ -130,6 +133,9 @@ func New(n *simnet.Network, host simnet.HostID, site geo.Site, spec workload.Con
 
 // Host returns the data center's network host ID.
 func (dc *DataCenter) Host() simnet.HostID { return dc.host }
+
+// Endpoint exposes the data center's TCP endpoint (for taps and metrics).
+func (dc *DataCenter) Endpoint() *tcpsim.Endpoint { return dc.ep }
 
 // Site returns the data center's geographic site.
 func (dc *DataCenter) Site() geo.Site { return dc.site }
@@ -169,16 +175,26 @@ func (dc *DataCenter) handle(w *httpsim.ResponseWriter, r *httpsim.Request) {
 		return
 	}
 	dc.served++
+	if m := dc.met; m != nil {
+		m.requests.Inc()
+	}
 
 	if dc.opts.CacheResults {
 		if body, hit := dc.cache[q.Keywords]; hit {
 			dc.cacheHits++
+			if m := dc.met; m != nil {
+				m.cacheHits.Inc()
+				m.procSeconds.Observe(dc.opts.CacheHitTime.Seconds())
+			}
 			dc.respondAfter(w, body, dc.opts.CacheHitTime)
 			return
 		}
 	}
 
 	proc := dc.cost.Sample(q, dc.currentLoad(), dc.rng)
+	if m := dc.met; m != nil {
+		m.procSeconds.Observe(proc.Seconds())
+	}
 	body := dc.spec.DynamicBody(q, dc.rng)
 	if dc.opts.CacheResults {
 		dc.cache[q.Keywords] = body
@@ -205,6 +221,9 @@ func (dc *DataCenter) runJob(proc time.Duration, done func()) {
 		if len(dc.queue) > dc.maxQueue {
 			dc.maxQueue = len(dc.queue)
 		}
+		if m := dc.met; m != nil {
+			m.queueDepth.Set(float64(len(dc.queue)))
+		}
 		return
 	}
 	dc.startJob(proc, done)
@@ -212,9 +231,16 @@ func (dc *DataCenter) runJob(proc time.Duration, done func()) {
 
 func (dc *DataCenter) startJob(proc time.Duration, done func()) {
 	dc.busy++
+	if m := dc.met; m != nil {
+		m.concurrency.Set(float64(dc.busy))
+	}
 	dc.ep.Sim().Schedule(proc, func() {
 		done()
 		dc.busy--
+		if m := dc.met; m != nil {
+			m.concurrency.Set(float64(dc.busy))
+			m.queueDepth.Set(float64(len(dc.queue)))
+		}
 		if len(dc.queue) > 0 {
 			next := dc.queue[0]
 			dc.queue = dc.queue[1:]

@@ -1,0 +1,38 @@
+package backend
+
+import (
+	"fesplit/internal/obs"
+)
+
+// beMetrics are one data center's resolved registry instruments (labeled
+// children of the shared be_* families).
+type beMetrics struct {
+	requests    *obs.Counter
+	cacheHits   *obs.Counter
+	procSeconds *obs.Histogram
+	concurrency *obs.Gauge
+	queueDepth  *obs.Gauge
+}
+
+// StartObserving wires this data center into the observer's registry,
+// labeled by BE host. Call before traffic; a nil observer is a no-op.
+func (dc *DataCenter) StartObserving(o *obs.Observer) {
+	reg := o.Registry()
+	if reg == nil {
+		return
+	}
+	host := string(dc.host)
+	dc.met = &beMetrics{
+		requests: reg.CounterVec("be_requests_total",
+			"forwarded queries handled per data center", "be").With(host),
+		cacheHits: reg.CounterVec("be_cache_hits_total",
+			"result-cache hits (0 unless caching enabled)", "be").With(host),
+		procSeconds: reg.HistogramVec("be_proc_seconds",
+			"modeled back-end processing time per query",
+			obs.DurationBuckets(), "be").With(host),
+		concurrency: reg.GaugeVec("be_concurrency",
+			"queries concurrently occupying BE workers", "be").With(host),
+		queueDepth: reg.GaugeVec("be_queue_depth",
+			"queries queued behind the BE worker pool", "be").With(host),
+	}
+}

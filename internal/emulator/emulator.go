@@ -20,8 +20,10 @@ import (
 	"fesplit/internal/frontend"
 	"fesplit/internal/geo"
 	"fesplit/internal/httpsim"
+	"fesplit/internal/obs"
 	"fesplit/internal/simnet"
 	"fesplit/internal/tcpsim"
+	"fesplit/internal/trace"
 	"fesplit/internal/vantage"
 	"fesplit/internal/workload"
 )
@@ -46,6 +48,15 @@ type Record struct {
 	// Events is the session's client-side packet event list, attached
 	// by Finalize.
 	Events []capture.Event
+	// TrueFetch is the FE-side ground-truth fetch time of this query
+	// (GET arrival at the FE to the complete dynamic portion from the
+	// BE), joined from the FE's fetch log by client host and port. Zero
+	// unless the runner was built with an observer carrying a tracer.
+	TrueFetch time.Duration
+	// Span is the query's assembled causal span tree (client-side
+	// phases plus FE-side ground truth). Nil unless span tracing was
+	// enabled via Options.Obs.
+	Span *obs.Span
 }
 
 // OverallDelay is the user-perceived response time: first SYN to last
@@ -78,6 +89,9 @@ type Runner struct {
 
 	clientTCP  tcpsim.Config
 	keepBodies bool
+
+	obsv       *obs.Observer
+	simMetrics *simnet.Metrics
 }
 
 // Options configures a Runner.
@@ -100,6 +114,12 @@ type Options struct {
 	// KeepBodies retains each response body on its Record. Off by
 	// default — bodies duplicate what the traces already carry.
 	KeepBodies bool
+	// Obs, when non-nil, wires the whole world into an observability
+	// layer: simulator and network counters, a fleet-wide TCP stack
+	// bundle, per-FE/BE labeled metrics, and (when Obs carries a span
+	// tracer) one causal span tree per completed query, assembled at
+	// finalize time. Nil costs nothing on the hot paths.
+	Obs *obs.Observer
 }
 
 func (o Options) withDefaults() Options {
@@ -133,8 +153,25 @@ func New(simSeed int64, depCfg cdn.Config, opts Options) (*Runner, error) {
 		clientTCP:  opts.ClientTCP,
 		keepBodies: opts.KeepBodies,
 	}
+	var stack *tcpsim.StackMetrics
+	if opts.Obs != nil {
+		r.obsv = opts.Obs
+		reg := opts.Obs.Registry()
+		r.simMetrics = simnet.NewMetrics(reg)
+		sim.SetMetrics(r.simMetrics)
+		stack = tcpsim.NewStackMetrics(reg)
+		for _, fe := range dep.FEs {
+			fe.Endpoint().Metrics = stack
+			fe.StartObserving(opts.Obs)
+		}
+		for _, dc := range dep.BEs {
+			dc.Endpoint().Metrics = stack
+			dc.StartObserving(opts.Obs)
+		}
+	}
 	for _, n := range fleet.Nodes {
 		ep := tcpsim.NewEndpoint(net, n.Host, r.clientTCP)
+		ep.Metrics = stack
 		rec := capture.NewRecorder(string(n.Host))
 		rec.SnapPayload = opts.SnapPayloads
 		ep.Tap = rec.Tap
@@ -240,7 +277,86 @@ func (r *Runner) finalize(ds *Dataset) *Dataset {
 	for _, fe := range r.Dep.FEs {
 		ds.FEFetchTimes[fe.Host()] = fe.FetchTimes()
 	}
+	r.observe(ds)
 	return ds
+}
+
+// feLogKey joins an FE-side fetch record with a client-side session: the
+// FE saw the client's host and TCP source port, which the client's
+// record knows as (Node, Key.LocalPort). Client ports never recycle
+// within a run, so the join is exact.
+type feLogKey struct {
+	client string
+	port   uint16
+}
+
+// observe flushes registry snapshots and, when span tracing is on,
+// assembles one causal span tree per completed record.
+func (r *Runner) observe(ds *Dataset) {
+	o := r.obsv
+	if o == nil {
+		return
+	}
+	r.simMetrics.Flush()
+	r.Net.ExportMetrics(o.Registry())
+	tracer := o.Tracer()
+	if tracer == nil {
+		return
+	}
+	logs := make(map[simnet.HostID]map[feLogKey]frontend.FetchRecord, len(r.Dep.FEs))
+	for _, fe := range r.Dep.FEs {
+		m := make(map[feLogKey]frontend.FetchRecord)
+		for _, fr := range fe.FetchLog() {
+			m[feLogKey{fr.Client, fr.ClientPort}] = fr
+		}
+		logs[fe.Host()] = m
+	}
+	for i := range ds.Records {
+		rr := &ds.Records[i]
+		if rr.Failed || rr.Span != nil || rr.Key == (capture.ConnKey{}) {
+			continue
+		}
+		rr.Span = r.assembleSpan(rr, logs[rr.FE])
+		tracer.Add(rr.Span)
+	}
+}
+
+// assembleSpan builds the paper's Figure-2 causal phases of one query as
+// a span tree: client-side phases from the parsed packet session, plus
+// the FE's hidden ground truth (static flush, FE↔BE fetch) on a second
+// track. As a side effect it fills Record.TrueFetch from the FE log.
+func (r *Runner) assembleSpan(rr *Record, feLog map[feLogKey]frontend.FetchRecord) *obs.Span {
+	start := rr.IssuedAt - rr.DNSTime
+	root := &obs.Span{
+		Name:  "query",
+		Track: "client",
+		Key:   obs.ConnKey(rr.Key),
+		Start: start,
+		End:   rr.DoneAt,
+	}
+	root.SetAttr("node", string(rr.Node))
+	root.SetAttr("fe", string(rr.FE))
+	root.SetAttr("keywords", rr.Query.Keywords)
+	if rr.DNSTime > 0 {
+		root.Child("dns-resolve", start, rr.IssuedAt)
+	}
+	if s, err := trace.Parse(rr.Key, rr.Events); err == nil {
+		root.Child("tcp-handshake", s.TB, s.TB+s.RTT)
+		root.Child("get-request", s.T1, s.T3)
+		root.Child("delivery", s.T3, s.TE)
+	}
+	if fr, ok := feLog[feLogKey{string(rr.Node), rr.Key.LocalPort}]; ok {
+		if fr.StaticAt > 0 {
+			c := root.Child("fe-static-flush", fr.Arrived, fr.StaticAt)
+			c.Track = "frontend"
+		}
+		if fr.FetchDone > 0 {
+			c := root.Child("fe-fetch", fr.Arrived, fr.FetchDone)
+			c.Track = "frontend"
+			rr.TrueFetch = fr.FetchDone - fr.Arrived
+		}
+	}
+	return root
 }
 
 // FEResolver abstracts DNS-style client→FE resolution (implemented by
@@ -362,6 +478,7 @@ func (r *Runner) RunKeepAliveA(opts AOptions) *Dataset {
 	for _, fe := range r.Dep.FEs {
 		ds.FEFetchTimes[fe.Host()] = fe.FetchTimes()
 	}
+	r.observe(ds)
 	return ds
 }
 

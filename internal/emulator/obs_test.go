@@ -1,0 +1,101 @@
+package emulator
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"fesplit/internal/cdn"
+	"fesplit/internal/obs"
+)
+
+// observedRun drives one small observed Experiment A and returns the
+// three exports.
+func observedRun(t *testing.T, seed int64) (prom, chrome, jsonl []byte, ds *Dataset) {
+	t.Helper()
+	o := obs.NewObserver()
+	r, err := New(seed, cdn.GoogleLike(seed), Options{Nodes: 6, FleetSeed: seed + 1, Obs: o})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds = r.RunExperimentA(AOptions{QueriesPerNode: 3, Interval: 2 * time.Second, QuerySeed: seed + 2})
+	var p, c, j bytes.Buffer
+	if err := obs.WritePrometheus(&p, o.Reg); err != nil {
+		t.Fatal(err)
+	}
+	if err := obs.WriteChromeTrace(&c, o.Spans); err != nil {
+		t.Fatal(err)
+	}
+	if err := obs.WriteSpansJSONL(&j, o.Spans); err != nil {
+		t.Fatal(err)
+	}
+	return p.Bytes(), c.Bytes(), j.Bytes(), ds
+}
+
+// TestObservedRunDeterministic asserts the whole observability layer is
+// replay-exact: two same-seed runs export byte-identical Prometheus,
+// Chrome-trace and JSONL files.
+func TestObservedRunDeterministic(t *testing.T) {
+	p1, c1, j1, _ := observedRun(t, 11)
+	p2, c2, j2, _ := observedRun(t, 11)
+	if !bytes.Equal(p1, p2) {
+		t.Error("prometheus exports differ across same-seed runs")
+	}
+	if !bytes.Equal(c1, c2) {
+		t.Error("chrome-trace exports differ across same-seed runs")
+	}
+	if !bytes.Equal(j1, j2) {
+		t.Error("jsonl exports differ across same-seed runs")
+	}
+}
+
+// TestObservedRunCoverage asserts the registry spans every subsystem
+// (the obs CLI's acceptance floor: ≥12 families across simnet, tcpsim,
+// frontend and backend) and that every completed record carries a span
+// tree with the client-side phases.
+func TestObservedRunCoverage(t *testing.T) {
+	prom, _, _, ds := observedRun(t, 13)
+	fams := 0
+	byPrefix := map[string]int{}
+	for _, line := range bytes.Split(prom, []byte("\n")) {
+		if !bytes.HasPrefix(line, []byte("# TYPE ")) {
+			continue
+		}
+		fams++
+		name := string(bytes.Fields(line)[2])
+		for _, p := range []string{"sim_", "net_", "tcp_", "fe_", "be_"} {
+			if len(name) >= len(p) && name[:len(p)] == p {
+				byPrefix[p]++
+			}
+		}
+	}
+	if fams < 12 {
+		t.Errorf("only %d metric families exported, want ≥12", fams)
+	}
+	for _, p := range []string{"sim_", "net_", "tcp_", "fe_", "be_"} {
+		if byPrefix[p] == 0 {
+			t.Errorf("no %s* families exported", p)
+		}
+	}
+	spans := 0
+	for i, rec := range ds.Records {
+		if rec.Failed {
+			continue
+		}
+		if rec.Span == nil {
+			t.Fatalf("record %d has no span", i)
+		}
+		for _, name := range []string{"tcp-handshake", "get-request", "delivery", "fe-fetch"} {
+			if rec.Span.Find(name) == nil {
+				t.Errorf("record %d span missing %q phase", i, name)
+			}
+		}
+		if rec.TrueFetch <= 0 {
+			t.Errorf("record %d has no ground-truth fetch time", i)
+		}
+		spans++
+	}
+	if spans == 0 {
+		t.Fatal("no spans assembled")
+	}
+}

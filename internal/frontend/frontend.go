@@ -99,6 +99,11 @@ type Server struct {
 	fetchTimes  []time.Duration
 	dialedConns int
 	maxQueue    int
+
+	// observability (StartObserving)
+	met        *feMetrics
+	logFetches bool
+	fetchLog   []FetchRecord
 }
 
 type feJob struct {
@@ -221,6 +226,9 @@ func (fe *Server) getConn() *httpsim.PersistentConn {
 		}
 	}
 	fe.dialedConns++
+	if m := fe.met; m != nil {
+		m.beDials.Inc()
+	}
 	return httpsim.NewPersistentConn(fe.ep, fe.beHost, backend.BEPort)
 }
 
@@ -252,6 +260,9 @@ func (fe *Server) runJob(service time.Duration, done func()) {
 		if len(fe.queue) > fe.maxQueue {
 			fe.maxQueue = len(fe.queue)
 		}
+		if m := fe.met; m != nil {
+			m.queueDepth.Set(float64(len(fe.queue)))
+		}
 		return
 	}
 	fe.startJob(service, done)
@@ -259,9 +270,16 @@ func (fe *Server) runJob(service time.Duration, done func()) {
 
 func (fe *Server) startJob(service time.Duration, done func()) {
 	fe.busy++
+	if m := fe.met; m != nil {
+		m.concurrency.Set(float64(fe.busy))
+	}
 	fe.ep.Sim().Schedule(service, func() {
 		done()
 		fe.busy--
+		if m := fe.met; m != nil {
+			m.concurrency.Set(float64(fe.busy))
+			m.queueDepth.Set(float64(len(fe.queue)))
+		}
 		if len(fe.queue) > 0 {
 			next := fe.queue[0]
 			fe.queue = fe.queue[1:]
@@ -286,6 +304,20 @@ func (fe *Server) handle(w *httpsim.ResponseWriter, r *httpsim.Request) {
 	sim := fe.ep.Sim()
 	arrived := sim.Now()
 	keepAlive := r.Header["Connection"] == "keep-alive"
+
+	if m := fe.met; m != nil {
+		m.requests.Inc()
+	}
+	logIdx := -1
+	if fe.logFetches {
+		logIdx = len(fe.fetchLog)
+		rec := FetchRecord{Arrived: arrived}
+		if c := w.Conn(); c != nil {
+			rec.Client = string(c.RemoteHost())
+			rec.ClientPort = c.RemotePort()
+		}
+		fe.fetchLog = append(fe.fetchLog, rec)
+	}
 
 	staticWritten := false
 	var pendingDynamic []byte
@@ -312,6 +344,12 @@ func (fe *Server) handle(w *httpsim.ResponseWriter, r *httpsim.Request) {
 		}
 		w.Write(fe.static)
 		staticWritten = true
+		if m := fe.met; m != nil {
+			m.staticFlushes.Inc()
+		}
+		if logIdx >= 0 {
+			fe.fetchLog[logIdx].StaticAt = sim.Now()
+		}
 		if pendingDynamic != nil {
 			finish()
 		}
@@ -323,6 +361,12 @@ func (fe *Server) handle(w *httpsim.ResponseWriter, r *httpsim.Request) {
 	pc.Do(&httpsim.Request{Method: "GET", Path: r.Path, Host: r.Host}, httpsim.ResponseCallbacks{
 		OnDone: func(resp *httpsim.Response) {
 			fe.fetchTimes = append(fe.fetchTimes, sim.Now()-arrived)
+			if m := fe.met; m != nil {
+				m.fetchSeconds.Observe((sim.Now() - arrived).Seconds())
+			}
+			if logIdx >= 0 {
+				fe.fetchLog[logIdx].FetchDone = sim.Now()
+			}
 			fe.putConn(pc)
 			pendingDynamic = resp.Body
 			if fe.gzip {

@@ -1,0 +1,67 @@
+package frontend
+
+import (
+	"time"
+
+	"fesplit/internal/obs"
+)
+
+// feMetrics are one FE server's resolved registry instruments (labeled
+// children of the shared fe_* families).
+type feMetrics struct {
+	requests      *obs.Counter
+	staticFlushes *obs.Counter
+	fetchSeconds  *obs.Histogram
+	concurrency   *obs.Gauge
+	queueDepth    *obs.Gauge
+	beDials       *obs.Counter
+}
+
+// StartObserving wires this FE into the observer: registry metrics
+// (labeled by FE host) and, when the observer carries a span tracer,
+// per-request fetch records for ground-truth span assembly. Call before
+// traffic; a nil observer is a no-op.
+func (fe *Server) StartObserving(o *obs.Observer) {
+	if reg := o.Registry(); reg != nil {
+		host := string(fe.host)
+		fe.met = &feMetrics{
+			requests: reg.CounterVec("fe_requests_total",
+				"client requests handled per front-end", "fe").With(host),
+			staticFlushes: reg.CounterVec("fe_static_flushes_total",
+				"cached static prefixes flushed to clients", "fe").With(host),
+			fetchSeconds: reg.HistogramVec("fe_fetch_seconds",
+				"ground-truth FE-BE fetch time (GET arrival to full dynamic portion)",
+				obs.DurationBuckets(), "fe").With(host),
+			concurrency: reg.GaugeVec("fe_concurrency",
+				"requests concurrently occupying FE workers", "fe").With(host),
+			queueDepth: reg.GaugeVec("fe_queue_depth",
+				"requests queued behind the FE worker pool", "fe").With(host),
+			beDials: reg.CounterVec("fe_be_dials_total",
+				"fresh back-end connections dialed", "fe").With(host),
+		}
+	}
+	if o.Tracer() != nil {
+		fe.logFetches = true
+	}
+}
+
+// FetchRecord is the server-side ground truth of one handled request,
+// keyed by the client connection so it can be joined with the client's
+// packet-trace session (capture.ConnKey with Remote = this FE).
+type FetchRecord struct {
+	// Client identifies the requesting host and its TCP source port.
+	Client     string
+	ClientPort uint16
+	// Arrived is when the GET reached the FE.
+	Arrived time.Duration
+	// StaticAt is when the cached static prefix was flushed (zero if
+	// the response never got that far).
+	StaticAt time.Duration
+	// FetchDone is when the complete dynamic portion arrived from the
+	// back-end (zero on BE error).
+	FetchDone time.Duration
+}
+
+// FetchLog returns the per-request ground-truth records in arrival
+// order (empty unless StartObserving enabled logging).
+func (fe *Server) FetchLog() []FetchRecord { return fe.fetchLog }

@@ -1,0 +1,180 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"time"
+)
+
+// chromeEvent is one flattened span ready for ordering and emission.
+type chromeEvent struct {
+	name  string
+	pid   int
+	tid   int
+	ts    time.Duration
+	dur   time.Duration
+	key   ConnKey
+	attrs []Attr
+}
+
+// WriteChromeTrace renders the tracer's span trees as Chrome
+// trace-event JSON (the "JSON Array with metadata" flavor), loadable in
+// chrome://tracing and Perfetto.
+//
+// Layout: each distinct client track (vantage node) becomes a process;
+// each query tree becomes one thread per track it touches, so
+// client-side phases and FE-side phases of the same query sit on
+// adjacent threads and never break Perfetto's same-thread nesting rule
+// (spans on one thread are strictly nested; cross-track phases such as
+// the FE fetch overlap client phases only across threads). Events are
+// sorted by (pid, tid, ts, -dur), giving every thread a non-negative,
+// monotonically non-decreasing timestamp sequence.
+//
+// Timestamps are virtual-time microseconds with nanosecond precision
+// (three decimals), so byte-identical runs export byte-identical JSON.
+func WriteChromeTrace(w io.Writer, t *Tracer) error {
+	// Assign pids to root tracks in sorted order for stable numbering.
+	pidOf := map[string]int{}
+	var tracks []string
+	t.Walk(func(s *Span, depth int) {
+		if _, ok := pidOf[s.Track]; !ok {
+			pidOf[s.Track] = 0 // placeholder
+			tracks = append(tracks, s.Track)
+		}
+	})
+	sort.Strings(tracks)
+	for i, tr := range tracks {
+		pidOf[tr] = i + 1
+	}
+
+	// Flatten trees: one tid per (root, track) pair, allocated in root
+	// order so thread numbering is deterministic.
+	var events []chromeEvent
+	type threadMeta struct {
+		pid, tid int
+		name     string
+	}
+	var threads []threadMeta
+	nextTid := 1
+	for qi, root := range t.Roots() {
+		tidOf := map[string]int{}
+		var flatten func(s *Span)
+		flatten = func(s *Span) {
+			tid, ok := tidOf[s.Track]
+			if !ok {
+				tid = nextTid
+				nextTid++
+				tidOf[s.Track] = tid
+				threads = append(threads, threadMeta{
+					pid:  pidOf[s.Track],
+					tid:  tid,
+					name: fmt.Sprintf("q%d %s", qi, s.Track),
+				})
+			}
+			events = append(events, chromeEvent{
+				name:  s.Name,
+				pid:   pidOf[s.Track],
+				tid:   tid,
+				ts:    s.Start,
+				dur:   s.Dur(),
+				key:   s.Key,
+				attrs: s.Attrs,
+			})
+			for _, c := range s.Children {
+				flatten(c)
+			}
+		}
+		flatten(root)
+	}
+	sort.SliceStable(events, func(i, j int) bool {
+		a, b := events[i], events[j]
+		if a.pid != b.pid {
+			return a.pid < b.pid
+		}
+		if a.tid != b.tid {
+			return a.tid < b.tid
+		}
+		if a.ts != b.ts {
+			return a.ts < b.ts
+		}
+		return a.dur > b.dur // longer first so parents precede children
+	})
+
+	// Emit by hand: fixed field order keeps the bytes deterministic.
+	bw := &errWriter{w: w}
+	bw.printf("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n")
+	first := true
+	for _, tr := range tracks {
+		emitSep(bw, &first)
+		bw.printf(`{"name":"process_name","ph":"M","pid":%d,"tid":0,"args":{"name":%s}}`,
+			pidOf[tr], jstr(tr))
+	}
+	for _, th := range threads {
+		emitSep(bw, &first)
+		bw.printf(`{"name":"thread_name","ph":"M","pid":%d,"tid":%d,"args":{"name":%s}}`,
+			th.pid, th.tid, jstr(th.name))
+	}
+	for _, e := range events {
+		emitSep(bw, &first)
+		dur := e.dur
+		if dur < 0 {
+			dur = 0
+		}
+		bw.printf(`{"name":%s,"cat":"span","ph":"X","ts":%s,"dur":%s,"pid":%d,"tid":%d,"args":{`,
+			jstr(e.name), usec(e.ts), usec(dur), e.pid, e.tid)
+		if e.key != (ConnKey{}) {
+			bw.printf(`"conn":%s`, jstr(e.key.String()))
+			if len(e.attrs) > 0 {
+				bw.printf(",")
+			}
+		}
+		for i, a := range e.attrs {
+			if i > 0 {
+				bw.printf(",")
+			}
+			bw.printf("%s:%s", jstr(a.K), jstr(a.V))
+		}
+		bw.printf("}}")
+	}
+	bw.printf("\n]}\n")
+	return bw.err
+}
+
+func emitSep(bw *errWriter, first *bool) {
+	if *first {
+		*first = false
+		return
+	}
+	bw.printf(",\n")
+}
+
+// usec renders a duration as microseconds with nanosecond precision.
+func usec(d time.Duration) string {
+	neg := ""
+	if d < 0 {
+		neg, d = "-", -d
+	}
+	return fmt.Sprintf("%s%d.%03d", neg, d/time.Microsecond, d%time.Microsecond)
+}
+
+// jstr JSON-encodes a string.
+func jstr(s string) string {
+	b, _ := json.Marshal(s)
+	return string(b)
+}
+
+// errWriter latches the first write error so export code can stay
+// linear.
+type errWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (e *errWriter) printf(format string, args ...interface{}) {
+	if e.err != nil {
+		return
+	}
+	_, e.err = fmt.Fprintf(e.w, format, args...)
+}

@@ -1,0 +1,156 @@
+package obs
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+// buildTestTrace assembles a two-query tracer resembling the
+// emulator's output: client-side phases on the node track, the FE
+// fetch on the FE track.
+func buildTestTrace() *Tracer {
+	tr := NewTracer()
+	for q := 0; q < 2; q++ {
+		base := time.Duration(q) * 500 * time.Millisecond
+		key := ConnKey{Remote: "fe-chicago", LocalPort: uint16(40000 + q), RemotePort: 80}
+		root := &Span{
+			Name: "query", Track: "client-1", Key: key,
+			Start: base, End: base + 300*time.Millisecond,
+		}
+		root.SetAttr("keywords", `cloud "performance"`)
+		root.Child("handshake", base, base+40*time.Millisecond)
+		root.Child("request", base+40*time.Millisecond, base+90*time.Millisecond)
+		fe := &Span{
+			Name: "fe-fetch", Track: "fe-chicago", Key: key,
+			Start: base + 60*time.Millisecond, End: base + 250*time.Millisecond,
+		}
+		root.Children = append(root.Children, fe)
+		tr.Add(root)
+	}
+	return tr
+}
+
+// chromeDoc mirrors the emitted JSON for round-trip validation.
+type chromeDoc struct {
+	TraceEvents []struct {
+		Name string  `json:"name"`
+		Ph   string  `json:"ph"`
+		Ts   float64 `json:"ts"`
+		Dur  float64 `json:"dur"`
+		Pid  int     `json:"pid"`
+		Tid  int     `json:"tid"`
+	} `json:"traceEvents"`
+}
+
+func TestChromeTraceRoundTrip(t *testing.T) {
+	tr := buildTestTrace()
+	var b strings.Builder
+	if err := WriteChromeTrace(&b, tr); err != nil {
+		t.Fatal(err)
+	}
+	var doc chromeDoc
+	if err := json.Unmarshal([]byte(b.String()), &doc); err != nil {
+		t.Fatalf("chrome trace is not strict JSON: %v\n%s", err, b.String())
+	}
+	spans := 0
+	lastTs := map[[2]int]float64{}
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph != "X" {
+			continue
+		}
+		spans++
+		if ev.Ts < 0 || ev.Dur < 0 {
+			t.Fatalf("negative ts/dur on %q: %v/%v", ev.Name, ev.Ts, ev.Dur)
+		}
+		track := [2]int{ev.Pid, ev.Tid}
+		if prev, ok := lastTs[track]; ok && ev.Ts < prev {
+			t.Fatalf("ts not monotone on track %v: %v after %v", track, ev.Ts, prev)
+		}
+		lastTs[track] = ev.Ts
+	}
+	if want := tr.Len(); spans != want {
+		t.Fatalf("exported %d spans, want %d", spans, want)
+	}
+	// Two queries × two tracks each → four threads.
+	if len(lastTs) != 4 {
+		t.Fatalf("got %d threads, want 4", len(lastTs))
+	}
+}
+
+func TestJSONLRoundTrip(t *testing.T) {
+	tr := buildTestTrace()
+	var b strings.Builder
+	if err := WriteSpansJSONL(&b, tr); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(b.String(), "\n"), "\n")
+	if len(lines) != tr.Len() {
+		t.Fatalf("got %d lines, want %d", len(lines), tr.Len())
+	}
+	for i, line := range lines {
+		var obj map[string]interface{}
+		if err := json.Unmarshal([]byte(line), &obj); err != nil {
+			t.Fatalf("line %d is not JSON: %v\n%s", i, err, line)
+		}
+		for _, field := range []string{"track", "name", "parent", "depth", "start_us", "dur_us"} {
+			if _, ok := obj[field]; !ok {
+				t.Fatalf("line %d missing %q: %s", i, field, line)
+			}
+		}
+	}
+	// Children carry their parent's name.
+	var child map[string]interface{}
+	if err := json.Unmarshal([]byte(lines[1]), &child); err != nil {
+		t.Fatal(err)
+	}
+	if child["parent"] != "query" {
+		t.Fatalf("child parent = %v, want query", child["parent"])
+	}
+}
+
+func TestExportsDeterministic(t *testing.T) {
+	render := func() (string, string, string) {
+		tr := buildTestTrace()
+		r := NewRegistry()
+		r.Counter("a_total", "a").Add(7)
+		r.CounterVec("b_total", "b", "k").With("v1").Inc()
+		r.CounterVec("b_total", "b", "k").With("v0").Inc()
+		var c, j, p strings.Builder
+		if err := WriteChromeTrace(&c, tr); err != nil {
+			t.Fatal(err)
+		}
+		if err := WriteSpansJSONL(&j, tr); err != nil {
+			t.Fatal(err)
+		}
+		if err := WritePrometheus(&p, r); err != nil {
+			t.Fatal(err)
+		}
+		return c.String(), j.String(), p.String()
+	}
+	c1, j1, p1 := render()
+	c2, j2, p2 := render()
+	if c1 != c2 || j1 != j2 || p1 != p2 {
+		t.Fatal("exports differ between identical builds")
+	}
+}
+
+func TestSpanTreeHelpers(t *testing.T) {
+	tr := buildTestTrace()
+	root := tr.Roots()[0]
+	if root.Find("fe-fetch") == nil {
+		t.Fatal("Find failed to locate fe-fetch")
+	}
+	if root.Find("nonexistent") != nil {
+		t.Fatal("Find invented a span")
+	}
+	if d := root.Find("handshake").Dur(); d != 40*time.Millisecond {
+		t.Fatalf("handshake dur = %v", d)
+	}
+	depths := map[string]int{}
+	tr.Walk(func(s *Span, depth int) { depths[s.Name] = depth })
+	if depths["query"] != 0 || depths["fe-fetch"] != 1 {
+		t.Fatalf("depths = %v", depths)
+	}
+}

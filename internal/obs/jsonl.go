@@ -1,0 +1,36 @@
+package obs
+
+import (
+	"io"
+)
+
+// WriteSpansJSONL dumps every span as one JSON object per line,
+// depth-first with parents before children — the InfernoSIM-style
+// capture/replay idiom: greppable, streamable, and trivially parsed
+// back. Field order is fixed and floats are integral microsecond
+// strings with nanosecond decimals, so output is deterministic.
+func WriteSpansJSONL(w io.Writer, t *Tracer) error {
+	bw := &errWriter{w: w}
+	var parents []string
+	t.Walk(func(s *Span, depth int) {
+		if depth < len(parents) {
+			parents = parents[:depth]
+		}
+		parent := ""
+		if depth > 0 {
+			parent = parents[depth-1]
+		}
+		parents = append(parents, s.Name)
+
+		bw.printf(`{"track":%s,"name":%s,"parent":%s,"depth":%d,"start_us":%s,"dur_us":%s`,
+			jstr(s.Track), jstr(s.Name), jstr(parent), depth, usec(s.Start), usec(s.Dur()))
+		if s.Key != (ConnKey{}) {
+			bw.printf(`,"conn":%s`, jstr(s.Key.String()))
+		}
+		for _, a := range s.Attrs {
+			bw.printf(",%s:%s", jstr("attr_"+a.K), jstr(a.V))
+		}
+		bw.printf("}\n")
+	})
+	return bw.err
+}

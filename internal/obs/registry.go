@@ -1,0 +1,398 @@
+// Package obs is the simulator's observability layer: a deterministic,
+// sim-clock-driven metrics registry (counters, gauges, fixed-bucket
+// histograms), a per-query span tracer, and exporters for Chrome
+// trace-event JSON, Prometheus text exposition and JSONL span dumps.
+//
+// Design constraints, in order:
+//
+//   - Determinism. No wall clock, no goroutines, no map-iteration
+//     ordering leaks: two runs with the same seed produce byte-identical
+//     exports. All virtual timestamps come from the discrete-event
+//     simulator; export walks sorted keys only.
+//   - Near-zero disabled cost. Every instrument method is safe on a nil
+//     receiver and returns immediately, so instrumented hot paths pay
+//     one pointer compare when observability is off. The scheduler and
+//     packet benchmarks gate this (< 10% enabled, ~0% disabled).
+//   - No dependencies. The package imports only the standard library, so
+//     every layer of the stack (simnet upward) can depend on it without
+//     cycles.
+package obs
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Kind distinguishes metric families in the registry and its exports.
+type Kind uint8
+
+// Metric family kinds.
+const (
+	KindCounter Kind = iota
+	KindGauge
+	KindHistogram
+)
+
+// String returns the Prometheus TYPE keyword for the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindCounter:
+		return "counter"
+	case KindGauge:
+		return "gauge"
+	case KindHistogram:
+		return "histogram"
+	}
+	return "untyped"
+}
+
+// Counter is a monotonically non-decreasing metric. All methods are
+// no-ops on a nil receiver.
+type Counter struct{ v float64 }
+
+// Inc adds 1.
+func (c *Counter) Inc() {
+	if c != nil {
+		c.v++
+	}
+}
+
+// Add adds d (negative deltas are ignored — counters never decrease).
+func (c *Counter) Add(d float64) {
+	if c != nil && d > 0 {
+		c.v += d
+	}
+}
+
+// Value returns the current count (0 on nil).
+func (c *Counter) Value() float64 {
+	if c == nil {
+		return 0
+	}
+	return c.v
+}
+
+// Gauge is a point-in-time value that also tracks the maximum it has
+// held — queue depths and concurrency levels report both. All methods
+// are no-ops on a nil receiver.
+type Gauge struct{ v, max float64 }
+
+// Set stores v.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.v = v
+	if v > g.max {
+		g.max = v
+	}
+}
+
+// Add adjusts the gauge by d (use ±1 for concurrency tracking).
+func (g *Gauge) Add(d float64) {
+	if g == nil {
+		return
+	}
+	g.v += d
+	if g.v > g.max {
+		g.max = g.v
+	}
+}
+
+// Value returns the current value (0 on nil).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return g.v
+}
+
+// Max returns the largest value the gauge has held (0 on nil).
+func (g *Gauge) Max() float64 {
+	if g == nil {
+		return 0
+	}
+	return g.max
+}
+
+// Histogram is a fixed-bucket cumulative histogram. Buckets are upper
+// bounds in ascending order; an implicit +Inf bucket catches the rest.
+// All methods are no-ops on a nil receiver.
+type Histogram struct {
+	bounds []float64
+	counts []uint64 // len(bounds)+1; last is the +Inf bucket
+	count  uint64
+	sum    float64
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	h.count++
+	h.sum += v
+	for i, b := range h.bounds {
+		if v <= b {
+			h.counts[i]++
+			return
+		}
+	}
+	h.counts[len(h.bounds)]++
+}
+
+// Count returns the number of samples (0 on nil).
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count
+}
+
+// Sum returns the sum of all samples (0 on nil).
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum
+}
+
+// DurationBuckets are histogram bounds in seconds suited to the
+// simulation's latency scales: 100 µs to ~30 s, roughly ×3 apart.
+func DurationBuckets() []float64 {
+	return []float64{.0001, .0003, .001, .003, .01, .03, .1, .3, 1, 3, 10, 30}
+}
+
+// SizeBuckets are histogram bounds for byte counts and window sizes:
+// one MSS up to 1 MiB, ×2 apart.
+func SizeBuckets() []float64 {
+	return []float64{1460, 2920, 5840, 11680, 23360, 46720, 93440, 186880, 373760, 747520, 1 << 20}
+}
+
+// series is one labeled child of a family.
+type series struct {
+	labelValues []string
+	counter     *Counter
+	gauge       *Gauge
+	hist        *Histogram
+}
+
+// Family is one named metric family: a kind, help text, label names and
+// the labeled children created so far.
+type Family struct {
+	Name   string
+	Help   string
+	Kind   Kind
+	labels []string
+	bounds []float64 // histogram families only
+	kids   map[string]*series
+}
+
+// Registry holds metric families. The zero value is not usable; create
+// one with NewRegistry. A nil *Registry is a valid "disabled" registry:
+// every getter returns a nil instrument whose methods are no-ops.
+type Registry struct {
+	families map[string]*Family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*Family)}
+}
+
+// family returns (creating if needed) the named family, panicking on a
+// kind or label-arity mismatch — that is a programming error, not a
+// runtime condition.
+func (r *Registry) family(name, help string, kind Kind, labels []string, bounds []float64) *Family {
+	f, ok := r.families[name]
+	if !ok {
+		f = &Family{
+			Name:   name,
+			Help:   help,
+			Kind:   kind,
+			labels: labels,
+			bounds: bounds,
+			kids:   make(map[string]*series),
+		}
+		r.families[name] = f
+		return f
+	}
+	if f.Kind != kind || len(f.labels) != len(labels) {
+		panic(fmt.Sprintf("obs: metric %q re-registered with different kind or labels", name))
+	}
+	return f
+}
+
+// child returns (creating if needed) the series for the given label
+// values.
+func (f *Family) child(values []string) *series {
+	if len(values) != len(f.labels) {
+		panic(fmt.Sprintf("obs: metric %q wants %d label values, got %d",
+			f.Name, len(f.labels), len(values)))
+	}
+	key := labelKey(values)
+	s, ok := f.kids[key]
+	if !ok {
+		vals := make([]string, len(values))
+		copy(vals, values)
+		s = &series{labelValues: vals}
+		switch f.Kind {
+		case KindCounter:
+			s.counter = &Counter{}
+		case KindGauge:
+			s.gauge = &Gauge{}
+		case KindHistogram:
+			s.hist = &Histogram{
+				bounds: f.bounds,
+				counts: make([]uint64, len(f.bounds)+1),
+			}
+		}
+		f.kids[key] = s
+	}
+	return s
+}
+
+// labelKey joins label values with an unlikely separator.
+func labelKey(values []string) string {
+	key := ""
+	for i, v := range values {
+		if i > 0 {
+			key += "\x1f"
+		}
+		key += v
+	}
+	return key
+}
+
+// Counter returns the unlabeled counter of the named family, creating
+// it on first use. Nil registry → nil counter.
+func (r *Registry) Counter(name, help string) *Counter {
+	if r == nil {
+		return nil
+	}
+	return r.family(name, help, KindCounter, nil, nil).child(nil).counter
+}
+
+// Gauge returns the unlabeled gauge of the named family.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	return r.family(name, help, KindGauge, nil, nil).child(nil).gauge
+}
+
+// Histogram returns the unlabeled histogram of the named family with
+// the given bucket upper bounds (used on first registration only).
+func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	return r.family(name, help, KindHistogram, nil, bounds).child(nil).hist
+}
+
+// CounterVec is a counter family with labels.
+type CounterVec struct{ f *Family }
+
+// CounterVec returns the labeled counter family.
+func (r *Registry) CounterVec(name, help string, labels ...string) *CounterVec {
+	if r == nil {
+		return nil
+	}
+	return &CounterVec{f: r.family(name, help, KindCounter, labels, nil)}
+}
+
+// With returns the child counter for the label values (nil on nil vec).
+func (v *CounterVec) With(values ...string) *Counter {
+	if v == nil {
+		return nil
+	}
+	return v.f.child(values).counter
+}
+
+// GaugeVec is a gauge family with labels.
+type GaugeVec struct{ f *Family }
+
+// GaugeVec returns the labeled gauge family.
+func (r *Registry) GaugeVec(name, help string, labels ...string) *GaugeVec {
+	if r == nil {
+		return nil
+	}
+	return &GaugeVec{f: r.family(name, help, KindGauge, labels, nil)}
+}
+
+// With returns the child gauge for the label values (nil on nil vec).
+func (v *GaugeVec) With(values ...string) *Gauge {
+	if v == nil {
+		return nil
+	}
+	return v.f.child(values).gauge
+}
+
+// HistogramVec is a histogram family with labels.
+type HistogramVec struct{ f *Family }
+
+// HistogramVec returns the labeled histogram family.
+func (r *Registry) HistogramVec(name, help string, bounds []float64, labels ...string) *HistogramVec {
+	if r == nil {
+		return nil
+	}
+	return &HistogramVec{f: r.family(name, help, KindHistogram, labels, bounds)}
+}
+
+// With returns the child histogram for the label values (nil on nil
+// vec).
+func (v *HistogramVec) With(values ...string) *Histogram {
+	if v == nil {
+		return nil
+	}
+	return v.f.child(values).hist
+}
+
+// Families returns the registry's families sorted by name (nil registry
+// → nil). Exporters and tests iterate this, never the internal maps.
+func (r *Registry) Families() []*Family {
+	if r == nil {
+		return nil
+	}
+	names := make([]string, 0, len(r.families))
+	for n := range r.families {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	out := make([]*Family, len(names))
+	for i, n := range names {
+		out[i] = r.families[n]
+	}
+	return out
+}
+
+// Series returns the family's children sorted by label values.
+func (f *Family) Series() []SeriesView {
+	keys := make([]string, 0, len(f.kids))
+	for k := range f.kids {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]SeriesView, 0, len(keys))
+	for _, k := range keys {
+		s := f.kids[k]
+		out = append(out, SeriesView{
+			LabelNames:  f.labels,
+			LabelValues: s.labelValues,
+			Counter:     s.counter,
+			Gauge:       s.gauge,
+			Histogram:   s.hist,
+		})
+	}
+	return out
+}
+
+// SeriesView is one labeled series of a family, for export. Exactly one
+// of Counter/Gauge/Histogram is non-nil, matching the family kind.
+type SeriesView struct {
+	LabelNames  []string
+	LabelValues []string
+	Counter     *Counter
+	Gauge       *Gauge
+	Histogram   *Histogram
+}

@@ -1,0 +1,133 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestNilInstrumentsAreNoOps(t *testing.T) {
+	var r *Registry
+	c := r.Counter("c", "")
+	g := r.Gauge("g", "")
+	h := r.Histogram("h", "", DurationBuckets())
+	cv := r.CounterVec("cv", "", "l")
+	gv := r.GaugeVec("gv", "", "l")
+	hv := r.HistogramVec("hv", "", SizeBuckets(), "l")
+
+	c.Inc()
+	c.Add(3)
+	g.Set(5)
+	g.Add(-1)
+	h.Observe(0.01)
+	cv.With("x").Inc()
+	gv.With("x").Set(2)
+	hv.With("x").Observe(1)
+
+	if c.Value() != 0 || g.Value() != 0 || g.Max() != 0 || h.Count() != 0 || h.Sum() != 0 {
+		t.Fatal("nil instruments must read zero")
+	}
+	if fams := r.Families(); fams != nil {
+		t.Fatalf("nil registry families = %v, want nil", fams)
+	}
+	var tr *Tracer
+	tr.Add(&Span{Name: "x"})
+	if tr.Len() != 0 || tr.Roots() != nil {
+		t.Fatal("nil tracer must be inert")
+	}
+	var o *Observer
+	if o.Registry() != nil || o.Tracer() != nil {
+		t.Fatal("nil observer must hand out nil components")
+	}
+}
+
+func TestCounterGaugeHistogram(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("packets_total", "packets")
+	c.Inc()
+	c.Add(2)
+	c.Add(-5) // ignored: counters never decrease
+	if got := c.Value(); got != 3 {
+		t.Fatalf("counter = %v, want 3", got)
+	}
+	if again := r.Counter("packets_total", "packets"); again != c {
+		t.Fatal("re-registration must return the same instrument")
+	}
+
+	g := r.Gauge("depth", "queue depth")
+	g.Set(4)
+	g.Add(3)
+	g.Add(-6)
+	if g.Value() != 1 || g.Max() != 7 {
+		t.Fatalf("gauge = (%v max %v), want (1 max 7)", g.Value(), g.Max())
+	}
+
+	h := r.Histogram("lat", "latency", []float64{1, 10})
+	for _, v := range []float64{0.5, 5, 50, 7} {
+		h.Observe(v)
+	}
+	if h.Count() != 4 || h.Sum() != 62.5 {
+		t.Fatalf("hist count=%d sum=%v, want 4, 62.5", h.Count(), h.Sum())
+	}
+	if h.counts[0] != 1 || h.counts[1] != 2 || h.counts[2] != 1 {
+		t.Fatalf("bucket counts = %v", h.counts)
+	}
+}
+
+func TestVecChildren(t *testing.T) {
+	r := NewRegistry()
+	v := r.CounterVec("path_sent", "per-path packets", "from", "to")
+	v.With("a", "b").Add(2)
+	v.With("a", "b").Inc()
+	v.With("b", "a").Inc()
+	if got := v.With("a", "b").Value(); got != 3 {
+		t.Fatalf("child a→b = %v, want 3", got)
+	}
+	fams := r.Families()
+	if len(fams) != 1 || len(fams[0].Series()) != 2 {
+		t.Fatalf("want 1 family with 2 series, got %+v", fams)
+	}
+}
+
+func TestRegistrationMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("m", "")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("kind mismatch must panic")
+		}
+	}()
+	r.Gauge("m", "")
+}
+
+func TestPrometheusExposition(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("sim_events_total", "events executed").Add(42)
+	r.GaugeVec("fe_concurrency", "busy workers", "fe").With(`ed"ge\1`).Set(3)
+	h := r.Histogram("fetch_seconds", "fetch latency", []float64{0.1, 1})
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(5)
+
+	var b strings.Builder
+	if err := WritePrometheus(&b, r); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE sim_events_total counter\nsim_events_total 42\n",
+		"# TYPE fe_concurrency gauge\n" + `fe_concurrency{fe="ed\"ge\\1"} 3` + "\n",
+		`fetch_seconds_bucket{le="0.1"} 1`,
+		`fetch_seconds_bucket{le="1"} 2`,
+		`fetch_seconds_bucket{le="+Inf"} 3`,
+		"fetch_seconds_sum 5.55",
+		"fetch_seconds_count 3",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q in:\n%s", want, out)
+		}
+	}
+	// Families must appear in sorted order.
+	if strings.Index(out, "fe_concurrency") > strings.Index(out, "sim_events_total") {
+		t.Error("families not sorted by name")
+	}
+}

@@ -3,6 +3,8 @@ package simnet
 import (
 	"testing"
 	"time"
+
+	"fesplit/internal/obs"
 )
 
 // BenchmarkEventThroughput measures raw scheduler throughput: schedule
@@ -34,6 +36,42 @@ func BenchmarkNetworkSend(b *testing.B) {
 		n.Send(Packet{From: "src", To: "dst", Size: 1460})
 		if i%1024 == 0 {
 			s.Run() // drain periodically to bound the heap
+		}
+	}
+	s.Run()
+}
+
+// BenchmarkEventThroughputMetrics is BenchmarkEventThroughput with the
+// registry wired: the overhead gate for enabled instrumentation.
+func BenchmarkEventThroughputMetrics(b *testing.B) {
+	s := New(1)
+	s.SetMetrics(NewMetrics(obs.NewRegistry()))
+	var fn func()
+	remaining := b.N
+	fn = func() {
+		if remaining > 0 {
+			remaining--
+			s.Schedule(time.Microsecond, fn)
+		}
+	}
+	s.Schedule(0, fn)
+	b.ResetTimer()
+	s.Run()
+}
+
+// BenchmarkNetworkSendMetrics is BenchmarkNetworkSend with the registry
+// wired.
+func BenchmarkNetworkSendMetrics(b *testing.B) {
+	s := New(2)
+	s.SetMetrics(NewMetrics(obs.NewRegistry()))
+	n := NewNetwork(s)
+	n.Attach("dst", HandlerFunc(func(Packet) {}))
+	n.SetPath("src", "dst", PathParams{Delay: time.Millisecond})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n.Send(Packet{From: "src", To: "dst", Size: 1460})
+		if i%1024 == 0 {
+			s.Run()
 		}
 	}
 	s.Run()

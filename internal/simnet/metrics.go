@@ -1,0 +1,96 @@
+package simnet
+
+import (
+	"sort"
+
+	"fesplit/internal/obs"
+)
+
+// Metrics bundles the scheduler's and network's registry instruments.
+// A nil *Metrics disables instrumentation: the hot paths pay a single
+// pointer compare (the scheduler and packet-send benchmarks gate this).
+type Metrics struct {
+	// Scheduler.
+	Scheduled    *obs.Counter
+	Executed     *obs.Counter
+	HeapDepth    *obs.Gauge
+	HeapDepthMax *obs.Gauge
+
+	// Network aggregates (per-path counters live on the paths
+	// themselves and are snapshotted by Network.ExportMetrics).
+	PacketsSent    *obs.Counter
+	PacketsDropped *obs.Counter
+	BytesSent      *obs.Counter
+}
+
+// NewMetrics registers the simnet metric families on reg and returns
+// the bundle (nil registry → nil bundle, instrumentation disabled).
+func NewMetrics(reg *obs.Registry) *Metrics {
+	if reg == nil {
+		return nil
+	}
+	return &Metrics{
+		Scheduled:    reg.Counter("sim_events_scheduled_total", "events pushed onto the scheduler heap"),
+		Executed:     reg.Counter("sim_events_executed_total", "events popped and run by the scheduler"),
+		HeapDepth:    reg.Gauge("sim_heap_depth", "pending events on the scheduler heap"),
+		HeapDepthMax: reg.Gauge("sim_heap_depth_max", "deepest scheduler heap observed"),
+		PacketsSent:  reg.Counter("net_packets_sent_total", "packets submitted to the network"),
+		PacketsDropped: reg.Counter("net_packets_dropped_total",
+			"packets dropped by loss processes before delivery"),
+		BytesSent: reg.Counter("net_bytes_sent_total", "payload+header bytes submitted to the network"),
+	}
+}
+
+// Flush copies derived values (gauge maxima) into their exported
+// gauges. Call once before exporting the registry.
+func (m *Metrics) Flush() {
+	if m == nil {
+		return
+	}
+	m.HeapDepthMax.Set(m.HeapDepth.Max())
+}
+
+// SetMetrics wires (or, with nil, unwires) scheduler and network
+// instrumentation. The network shares the simulator's bundle.
+func (s *Sim) SetMetrics(m *Metrics) { s.metrics = m }
+
+// Metrics returns the wired bundle (nil when disabled).
+func (s *Sim) Metrics() *Metrics { return s.metrics }
+
+// ExportMetrics snapshots the per-path counters into labeled registry
+// families (net_path_*_total{from,to}). Paths are walked in sorted key
+// order so the exposition is deterministic. The per-packet hot path
+// stays untouched: paths already count sends locally.
+func (n *Network) ExportMetrics(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	sent := reg.CounterVec("net_path_packets_total", "packets sent per directed path", "from", "to")
+	dropped := reg.CounterVec("net_path_dropped_total", "packets dropped per directed path", "from", "to")
+	bytes := reg.CounterVec("net_path_bytes_total", "bytes sent per directed path", "from", "to")
+
+	keys := make([]pathKey, 0, len(n.paths))
+	for k := range n.paths {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].from != keys[j].from {
+			return keys[i].from < keys[j].from
+		}
+		return keys[i].to < keys[j].to
+	})
+	for _, k := range keys {
+		p := n.paths[k]
+		if p.sent == 0 && p.dropped == 0 {
+			continue // unused default paths would bloat the exposition
+		}
+		from, to := string(k.from), string(k.to)
+		set(sent.With(from, to), float64(p.sent))
+		set(dropped.With(from, to), float64(p.dropped))
+		set(bytes.With(from, to), float64(p.bytes))
+	}
+}
+
+// set raises a snapshot counter to v (counters only move forward, so
+// re-export after more traffic adds the delta).
+func set(c *obs.Counter, v float64) { c.Add(v - c.Value()) }

@@ -152,14 +152,24 @@ func (n *Network) Send(pkt Packet) {
 	p := n.pathState(pkt.From, pkt.To)
 	p.sent++
 	p.bytes += uint64(pkt.Size)
+	if m := n.sim.metrics; m != nil {
+		m.PacketsSent.Inc()
+		m.BytesSent.Add(float64(pkt.Size))
+	}
 
 	if p.gilbert != nil {
 		if p.gilbert.drop(n.sim.Rand().Float64(), n.sim.Rand().Float64()) {
 			p.dropped++
+			if m := n.sim.metrics; m != nil {
+				m.PacketsDropped.Inc()
+			}
 			return
 		}
 	} else if p.params.LossRate > 0 && n.sim.Rand().Float64() < p.params.LossRate {
 		p.dropped++
+		if m := n.sim.metrics; m != nil {
+			m.PacketsDropped.Inc()
+		}
 		return
 	}
 

@@ -56,6 +56,10 @@ type Sim struct {
 
 	// Processed counts events executed, a cheap progress/debug metric.
 	Processed uint64
+
+	// metrics, when wired via SetMetrics, mirrors scheduler activity
+	// into the observability registry. Nil costs one compare per event.
+	metrics *Metrics
 }
 
 // New returns a simulator whose randomness derives from seed.
@@ -86,6 +90,10 @@ func (s *Sim) ScheduleAt(at Time, fn func()) {
 	}
 	s.seq++
 	heap.Push(&s.events, &event{at: at, seq: s.seq, fn: fn})
+	if m := s.metrics; m != nil {
+		m.Scheduled.Inc()
+		m.HeapDepth.Set(float64(len(s.events)))
+	}
 }
 
 // Step executes the next pending event, advancing the clock to its time.
@@ -97,6 +105,10 @@ func (s *Sim) Step() bool {
 	e := heap.Pop(&s.events).(*event)
 	s.now = e.at
 	s.Processed++
+	if m := s.metrics; m != nil {
+		m.Executed.Inc()
+		m.HeapDepth.Set(float64(len(s.events)))
+	}
 	e.fn()
 	return true
 }

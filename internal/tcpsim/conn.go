@@ -453,6 +453,7 @@ func (c *Conn) sampleRTT() {
 		rto = c.ep.cfg.MaxRTO
 	}
 	c.rto = rto
+	c.ep.Metrics.sampleSenderState(c.cwnd, c.srtt)
 }
 
 // onTimeout handles an RTO expiry: multiplicative backoff, collapse the
@@ -473,6 +474,9 @@ func (c *Conn) onTimeout() {
 	}
 	c.timeouts++
 	c.retransmits++
+	if m := c.ep.Metrics; m != nil {
+		m.RTOs.Inc()
+	}
 	mss := float64(c.ep.cfg.MSS)
 	half := float64(outstanding) / 2
 	if half < 2*mss {
@@ -673,11 +677,17 @@ func (c *Conn) processAck(s Segment) {
 	if s.Ack == c.sndUna && len(s.Data) == 0 && s.Flags&FlagFIN == 0 &&
 		c.sndNxt > c.sndUna {
 		c.dupAcks++
+		if m := c.ep.Metrics; m != nil {
+			m.DupAcks.Inc()
+		}
 		switch {
 		case c.dupAcks == 3 && !c.inRecov:
 			// Fast retransmit + fast recovery (Reno / SACK).
 			c.fastRetrans++
 			c.retransmits++
+			if m := c.ep.Metrics; m != nil {
+				m.FastRetrans.Inc()
+			}
 			flight := float64(c.sndNxt - c.sndUna)
 			half := flight / 2
 			if half < 2*mss {

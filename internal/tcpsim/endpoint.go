@@ -44,6 +44,12 @@ type Endpoint struct {
 	// Tap, when non-nil, observes every segment this endpoint sends or
 	// receives. Used for packet capture.
 	Tap func(TapEvent)
+
+	// Metrics, when non-nil, mirrors stack activity (segments,
+	// retransmissions, RTOs, cwnd samples) into the observability
+	// registry. Share one bundle across endpoints to aggregate
+	// fleet-wide.
+	Metrics *StackMetrics
 }
 
 // NewEndpoint creates a TCP stack for host and attaches it to n.
@@ -87,6 +93,9 @@ func (e *Endpoint) Dial(remote simnet.HostID, port uint16) *Conn {
 	local := e.allocPort()
 	c := newConn(e, remote, port, local, false)
 	e.conns[connKey{remote, port, local}] = c
+	if m := e.Metrics; m != nil {
+		m.ConnsOpened.Inc()
+	}
 	c.sendSYN()
 	return c
 }
@@ -114,6 +123,9 @@ func (e *Endpoint) Deliver(pkt simnet.Packet) {
 	if e.Tap != nil {
 		e.Tap(TapEvent{Time: e.Sim().Now(), Dir: DirRecv, Remote: string(pkt.From), Segment: seg})
 	}
+	if m := e.Metrics; m != nil {
+		m.SegsRecv.Inc()
+	}
 	key := connKey{pkt.From, seg.SrcPort, seg.DstPort}
 	if c, ok := e.conns[key]; ok {
 		c.handle(seg)
@@ -125,6 +137,9 @@ func (e *Endpoint) Deliver(pkt simnet.Packet) {
 			c := newConn(e, pkt.From, seg.SrcPort, seg.DstPort, true)
 			c.acceptFn = l.accept
 			e.conns[key] = c
+			if m := e.Metrics; m != nil {
+				m.ConnsOpened.Inc()
+			}
 			c.handle(seg)
 		}
 	}
@@ -136,6 +151,12 @@ func (e *Endpoint) Deliver(pkt simnet.Packet) {
 func (e *Endpoint) send(remote simnet.HostID, seg Segment) {
 	if e.Tap != nil {
 		e.Tap(TapEvent{Time: e.Sim().Now(), Dir: DirSend, Remote: string(remote), Segment: seg})
+	}
+	if m := e.Metrics; m != nil {
+		m.SegsSent.Inc()
+		if seg.Retrans {
+			m.Retransmits.Inc()
+		}
 	}
 	e.net.Send(simnet.Packet{
 		From:    e.host,
