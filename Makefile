@@ -3,17 +3,29 @@
 
 GO ?= go
 
-.PHONY: all build test vet bench bench-json check report report-full examples clean
+.PHONY: all build test vet bench bench-json bench-compare check report report-full examples clean
 
 all: build vet test
 
-# CI-equivalent verification: vet, build, race-clean tests. The
+# CI-equivalent verification: vet, build, race-clean tests, then a
+# quick warn-only benchmark diff against the committed baseline. The
 # observability instrumentation must stay goroutine-free; -race proves
 # the simulation stays single-threaded.
 check:
 	$(GO) vet ./...
 	$(GO) build ./...
 	$(GO) test -race ./...
+	$(MAKE) bench-compare
+
+# Warn-only perf gate: short-benchtime run diffed against the latest
+# committed snapshot; ns/op growth beyond 15% is reported but does not
+# fail the build (timings on shared machines are too noisy to hard-gate;
+# eyeball the REGRESSION lines).
+bench-compare:
+	$(GO) run ./cmd/benchjson -benchtime 100ms -o bench-check.json \
+		-compare $(BENCH_BASELINE) -warn-only
+
+BENCH_BASELINE ?= BENCH_2.json
 
 build:
 	$(GO) build ./...

@@ -6,16 +6,24 @@
 //
 // Usage:
 //
-//	benchjson [-o BENCH_1.json] [-bench REGEXP] [-benchtime 1s] [PKG ...]
+//	benchjson [-o BENCH_1.json] [-bench REGEXP] [-benchtime 1s]
+//	          [-compare OLD.json] [-threshold 15] [-warn-only] [PKG ...]
 //
 // With no packages the root benchmarks plus the simnet and tcpsim
 // micro-benchmarks are run — the set the instrumentation-overhead
 // acceptance gates compare against.
+//
+// With -compare the fresh results are diffed against a previously
+// recorded baseline: any benchmark whose ns/op grew by more than
+// -threshold percent is flagged, and the process exits non-zero unless
+// -warn-only is set (the mode `make check` and CI use — benchmarks on
+// shared runners are too noisy to hard-gate).
 package main
 
 import (
 	"bufio"
 	"bytes"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -43,6 +51,9 @@ func main() {
 	out := flag.String("o", "BENCH_1.json", "output JSON file")
 	bench := flag.String("bench", ".", "benchmark regexp passed to go test")
 	benchtime := flag.String("benchtime", "1s", "benchtime passed to go test")
+	compare := flag.String("compare", "", "baseline JSON file; flag ns/op regressions against it")
+	threshold := flag.Float64("threshold", 15, "ns/op regression threshold in percent for -compare")
+	warnOnly := flag.Bool("warn-only", false, "with -compare, report regressions without failing")
 	flag.Parse()
 
 	pkgs := flag.Args()
@@ -66,6 +77,64 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Printf("wrote %d benchmark results to %s\n", len(results), *out)
+
+	if *compare != "" {
+		baseline, err := readJSON(*compare)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		regs := findRegressions(baseline, results, *threshold)
+		for _, r := range regs {
+			fmt.Printf("REGRESSION %s: %s → %s ns/op (%+.1f%%, threshold %g%%)\n",
+				r.Name, fnum(r.Old), fnum(r.New), r.Pct, *threshold)
+		}
+		if len(regs) == 0 {
+			fmt.Printf("no ns/op regressions beyond %g%% vs %s\n", *threshold, *compare)
+		} else if !*warnOnly {
+			os.Exit(1)
+		}
+	}
+}
+
+// Regression is one benchmark whose ns/op grew beyond the threshold.
+type Regression struct {
+	Name     string
+	Old, New float64
+	Pct      float64
+}
+
+// findRegressions diffs fresh results against a baseline, returning
+// benchmarks (sorted by name) whose ns/op grew by more than threshold
+// percent. Benchmarks present in only one file are skipped — added or
+// removed benchmarks are not regressions.
+func findRegressions(baseline, fresh map[string]Result, threshold float64) []Regression {
+	var regs []Regression
+	for name, nr := range fresh {
+		br, ok := baseline[name]
+		if !ok || br.NsPerOp <= 0 {
+			continue
+		}
+		pct := 100 * (nr.NsPerOp - br.NsPerOp) / br.NsPerOp
+		if pct > threshold {
+			regs = append(regs, Regression{Name: name, Old: br.NsPerOp, New: nr.NsPerOp, Pct: pct})
+		}
+	}
+	sort.Slice(regs, func(i, j int) bool { return regs[i].Name < regs[j].Name })
+	return regs
+}
+
+// readJSON loads a perf-trajectory file written by writeJSON.
+func readJSON(path string) (map[string]Result, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	results := map[string]Result{}
+	if err := json.Unmarshal(data, &results); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return results, nil
 }
 
 // runPkg runs one package's benchmarks and folds parsed lines into

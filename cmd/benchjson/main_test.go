@@ -1,0 +1,57 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestFindRegressions(t *testing.T) {
+	baseline := map[string]Result{
+		"BenchmarkStable":  {NsPerOp: 100},
+		"BenchmarkSlower":  {NsPerOp: 100},
+		"BenchmarkFaster":  {NsPerOp: 100},
+		"BenchmarkRemoved": {NsPerOp: 100},
+		"BenchmarkZero":    {NsPerOp: 0},
+	}
+	fresh := map[string]Result{
+		"BenchmarkStable": {NsPerOp: 110}, // +10%, inside threshold
+		"BenchmarkSlower": {NsPerOp: 130}, // +30%, regression
+		"BenchmarkFaster": {NsPerOp: 50},
+		"BenchmarkAdded":  {NsPerOp: 999},
+		"BenchmarkZero":   {NsPerOp: 50}, // zero baseline cannot regress
+	}
+	regs := findRegressions(baseline, fresh, 15)
+	if len(regs) != 1 || regs[0].Name != "BenchmarkSlower" {
+		t.Fatalf("regressions = %+v, want only BenchmarkSlower", regs)
+	}
+	if regs[0].Pct < 29.9 || regs[0].Pct > 30.1 {
+		t.Errorf("Pct = %v, want ~30", regs[0].Pct)
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	results := map[string]Result{
+		"BenchmarkA": {NsPerOp: 396.1, BytesPerOp: 133, AllocsPerOp: 2, Iterations: 3022214},
+		"BenchmarkB": {NsPerOp: 4.39038629e+08, Iterations: 3},
+	}
+	path := filepath.Join(t.TempDir(), "bench.json")
+	if err := writeJSON(path, results); err != nil {
+		t.Fatal(err)
+	}
+	got, err := readJSON(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(results) {
+		t.Fatalf("round-trip kept %d results, want %d", len(got), len(results))
+	}
+	for name, want := range results {
+		if got[name] != want {
+			t.Errorf("%s = %+v, want %+v", name, got[name], want)
+		}
+	}
+	if _, err := readJSON(filepath.Join(t.TempDir(), "missing.json")); !os.IsNotExist(err) {
+		t.Errorf("missing file error = %v, want not-exist", err)
+	}
+}

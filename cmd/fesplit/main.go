@@ -3,12 +3,13 @@
 //
 // Usage:
 //
-//	fesplit report       [-seed N] [-scale light|full] [-fig all|3..9|caching] [-csv DIR]
+//	fesplit report       [-seed N] [-scale light|full] [-fig all|3..9|caching] [-csv DIR] [-html FILE]
 //	fesplit sweep        [-seed N] [-miles M] [-loss P] [-repeats K]
 //	fesplit direct       [-seed N] [-service google|bing] [-nodes N]
 //	fesplit trace        [-seed N] [-rtt MS] [-o FILE]
 //	fesplit decode       FILE
 //	fesplit obs          [-seed N] [-service google|bing] [-nodes N] [-dir DIR]
+//	             [-tail-pct P] [-max-exemplars N] [-bound-tol D] [-full-spans]
 //	fesplit interactive  [-seed N] [-q KEYWORDS]
 //	fesplit live         [-seed N] [-proc MS] [-oneway MS] [-n QUERIES]
 package main
@@ -68,13 +69,15 @@ func usage() {
 End-to-End Performance of Dynamic Content Distribution" (IMC 2011)
 
 commands:
-  report       regenerate the paper's figures (text tables, optional CSV)
+  report       regenerate the paper's figures (text tables, optional CSV
+               and self-contained HTML with inline SVG via -html)
   sweep        FE-placement ablation: the placement / fetch-time trade-off
   direct       no-FE baseline: clients straight to the data center
   trace        capture one query session and print its packet timeline
   decode       print a binary trace file captured with 'trace -o'
   obs          run a seeded observed experiment and export Chrome trace,
-               Prometheus metrics and JSONL spans
+               Prometheus + JSONL metrics, tail-sampled JSONL spans and
+               an HTML report
   interactive  run the Section-6 search-as-you-type probe
   live         run the architecture over real TCP sockets (loopback)
 
@@ -88,6 +91,7 @@ func cmdReport(args []string) error {
 	scale := fs.String("scale", "light", "study scale: light or full")
 	fig := fs.String("fig", "all", "figure to regenerate: all|3|4|5|6|7|8|9|caching")
 	csvDir := fs.String("csv", "", "also export figure data as CSV files into DIR")
+	htmlFile := fs.String("html", "", "also render the report as a self-contained HTML page (inline SVG figures) to FILE")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -111,6 +115,9 @@ func cmdReport(args []string) error {
 				return err
 			}
 			fmt.Fprintf(os.Stderr, "CSV figure data written to %s\n", *csvDir)
+		}
+		if err := writeReportHTML(rep, *htmlFile); err != nil {
+			return err
 		}
 		return rep.WriteText(os.Stdout)
 	}
@@ -145,7 +152,30 @@ func cmdReport(args []string) error {
 		}
 		fmt.Fprintf(os.Stderr, "CSV figure data written to %s\n", *csvDir)
 	}
+	if err := writeReportHTML(rep, *htmlFile); err != nil {
+		return err
+	}
 	return rep.WriteText(os.Stdout)
+}
+
+// writeReportHTML renders the report's HTML page when a path was given.
+func writeReportHTML(rep *fesplit.Report, path string) error {
+	if path == "" {
+		return nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := rep.WriteHTML(f, nil, nil); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "HTML report written to %s\n", path)
+	return nil
 }
 
 func cmdSweep(args []string) error {

@@ -15,10 +15,13 @@ import (
 )
 
 // cmdObs runs a small seeded Experiment A with the full observability
-// layer enabled and exports all three views of the run: a Chrome
+// layer enabled and exports every view of the run: a Chrome
 // trace-event file (open in Perfetto / chrome://tracing), a Prometheus
-// text exposition, and a JSONL span dump. Same seed → byte-identical
-// files.
+// text exposition, a lossless JSONL metrics dump, a JSONL span dump,
+// and a self-contained HTML report. By default spans are TAIL-SAMPLED:
+// only queries beyond -tail-pct of the Tdynamic distribution and every
+// inference-bound violation keep their span trees (-full-spans restores
+// the keep-everything tracer). Same seed → byte-identical files.
 func cmdObs(args []string) error {
 	fs := flag.NewFlagSet("obs", flag.ExitOnError)
 	seed := fs.Int64("seed", 42, "experiment seed")
@@ -26,6 +29,11 @@ func cmdObs(args []string) error {
 	nodes := fs.Int("nodes", 12, "vantage nodes")
 	queries := fs.Int("queries", 6, "queries per node")
 	dir := fs.String("dir", "obs-out", "output directory for the exported files")
+	tailPct := fs.Float64("tail-pct", 0.95, "retain span trees for queries beyond this Tdynamic percentile")
+	maxExemplars := fs.Int("max-exemplars", 64, "cap on retained tail exemplars (bound violations always kept)")
+	boundTol := fs.Duration("bound-tol", fesplit.DefaultBoundTolerance,
+		"jitter slack before a fetch time outside Tdelta..Tdynamic counts as a bound violation")
+	fullSpans := fs.Bool("full-spans", false, "keep every span tree instead of tail sampling")
 	pprofAddr := fs.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile of the run to FILE")
 	if err := fs.Parse(args); err != nil {
@@ -60,7 +68,15 @@ func cmdObs(args []string) error {
 		defer pprof.StopCPUProfile()
 	}
 
-	o := obs.NewObserver()
+	var o *obs.Observer
+	if *fullSpans {
+		o = fesplit.NewObserver()
+	} else {
+		o = fesplit.NewTailObserver(fesplit.TailConfig{
+			Percentile:   *tailPct,
+			MaxExemplars: *maxExemplars,
+		})
+	}
 	runner, err := fesplit.NewRunner(*seed, cfg, fesplit.RunnerOptions{
 		Nodes:     *nodes,
 		FleetSeed: *seed + 1,
@@ -75,16 +91,33 @@ func cmdObs(args []string) error {
 		QuerySeed:      *seed + 2,
 	})
 
+	// Analysis-layer observability: session-parameter sketches plus the
+	// tail-sampling pass (Tdynamic drives both).
+	params := fesplit.ExtractDataset(ds, 0)
+	fesplit.ObserveSessionParams(o.Registry(), ds.Service, params)
+	var exemplars []fesplit.Exemplar
+	spans := o.Spans
+	if !*fullSpans {
+		offered, violations := fesplit.SampleTails(o.TailSampler(), ds, 0, *boundTol)
+		exemplars = o.TailSampler().Select()
+		spans = o.TailSampler().Spans()
+		fmt.Printf("tail sampling: %d offered, %d retained (%d bound violations), threshold p%g = %.1f ms\n",
+			offered, len(exemplars), violations, 100*(*tailPct), 1000*o.TailSampler().Threshold())
+	}
+
 	if err := os.MkdirAll(*dir, 0o755); err != nil {
 		return err
 	}
+	rep := &fesplit.Report{Config: fesplit.StudyConfig{Seed: *seed, Nodes: *nodes}}
 	files := []struct {
 		name  string
 		write func(f *os.File) error
 	}{
-		{"trace.json", func(f *os.File) error { return obs.WriteChromeTrace(f, o.Spans) }},
+		{"trace.json", func(f *os.File) error { return obs.WriteChromeTrace(f, spans) }},
 		{"metrics.prom", func(f *os.File) error { return obs.WritePrometheus(f, o.Reg) }},
-		{"spans.jsonl", func(f *os.File) error { return obs.WriteSpansJSONL(f, o.Spans) }},
+		{"metrics.jsonl", func(f *os.File) error { return obs.WriteMetricsJSONL(f, o.Reg) }},
+		{"spans.jsonl", func(f *os.File) error { return obs.WriteSpansJSONL(f, spans) }},
+		{"report.html", func(f *os.File) error { return rep.WriteHTML(f, o.Reg, exemplars) }},
 	}
 	for _, out := range files {
 		f, err := os.Create(filepath.Join(*dir, out.name))
@@ -103,7 +136,7 @@ func cmdObs(args []string) error {
 	fmt.Printf("observed %s-like run: seed %d, %d nodes × %d queries\n",
 		*service, *seed, *nodes, *queries)
 	fmt.Printf("  records: %d (%d failed), spans: %d, metric families: %d\n",
-		len(ds.Records), countFailed(ds), o.Spans.Len(), len(o.Reg.Families()))
+		len(ds.Records), countFailed(ds), spans.Len(), len(o.Reg.Families()))
 	fmt.Println(metricsSummary(o.Reg))
 	for _, out := range files {
 		fmt.Printf("  wrote %s\n", filepath.Join(*dir, out.name))

@@ -28,6 +28,7 @@ package fesplit
 
 import (
 	"io"
+	"time"
 
 	"fesplit/internal/analysis"
 	"fesplit/internal/baseline"
@@ -114,10 +115,57 @@ type (
 	Span = obs.Span
 	// SpanTracer accumulates finished span trees.
 	SpanTracer = obs.Tracer
+	// TailConfig parameterizes tail-based exemplar sampling.
+	TailConfig = obs.TailConfig
+	// TailSampler retains span trees only for tail-latency queries and
+	// inference-bound violations.
+	TailSampler = obs.TailSampler
+	// Exemplar is one retained query: its Tdynamic, violation flag and
+	// full span tree.
+	Exemplar = obs.Exemplar
 )
 
 // NewObserver creates an observer with a registry and a span tracer.
 func NewObserver() *Observer { return obs.NewObserver() }
+
+// NewTailObserver creates an observer with a registry and a tail-based
+// exemplar sampler instead of a keep-everything tracer — the scalable
+// default for large campaigns.
+func NewTailObserver(cfg TailConfig) *Observer { return obs.NewTailObserver(cfg) }
+
+// ObserveSessionParams feeds measured per-session parameters into the
+// registry's dimensional quantile sketches, labeled by service and
+// phase (rtt, tstatic, tdynamic, tdelta, overall).
+func ObserveSessionParams(reg *MetricsRegistry, service string, params []Params) {
+	analysis.ObserveParams(reg, service, params)
+}
+
+// SampleTails offers every measurable record of a dataset to the tail
+// sampler; Select then retains span trees only for Tdynamic-tail
+// queries and records whose ground-truth fetch time violates
+// Tdelta ≤ Tfetch ≤ Tdynamic by more than tol. boundary ≤ 0 derives
+// the content boundary from the dataset; tol absorbs access-link
+// jitter in the client-observed bounds (DefaultBoundTolerance suits
+// the built-in campus access profile). Returns offered and violation
+// counts.
+func SampleTails(ts *TailSampler, ds *Dataset, boundary int, tol time.Duration) (offered, violations int) {
+	return analysis.SampleTails(ts, ds, boundary, tol)
+}
+
+// DefaultBoundTolerance is the violation slack matched to the default
+// campus access profile: each client-observed bound derives from one
+// captured packet carrying up to one jitter draw, so two jitter widths
+// separate measurement noise from genuine model violations.
+var DefaultBoundTolerance = 2 * vantage.CampusProfile().Jitter
+
+// WriteMetricsJSONL dumps a registry as one JSON object per series —
+// lossless (unlike the Prometheus text view, sketches keep their
+// buckets) and byte-deterministic.
+func WriteMetricsJSONL(w io.Writer, r *MetricsRegistry) error { return obs.WriteMetricsJSONL(w, r) }
+
+// ReadMetricsJSONL reconstructs a registry from a WriteMetricsJSONL
+// dump.
+func ReadMetricsJSONL(rd io.Reader) (*MetricsRegistry, error) { return obs.ReadMetricsJSONL(rd) }
 
 // WritePrometheus renders a registry in Prometheus text exposition
 // format (sorted, deterministic).

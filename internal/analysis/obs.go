@@ -1,0 +1,91 @@
+package analysis
+
+import (
+	"time"
+
+	"fesplit/internal/emulator"
+	"fesplit/internal/obs"
+)
+
+// ObserveParams feeds measured per-session parameters into the
+// registry's dimensional quantile sketches, labeled by service and
+// phase. The phase dimension carries the paper's Section-2 quantities
+// (rtt, tstatic, tdynamic, tdelta, overall), so one family answers
+// "p99 Tdynamic for bing-like" directly from the sketch without
+// retaining per-record data. A nil registry is a no-op.
+func ObserveParams(reg *obs.Registry, service string, params []Params) {
+	if reg == nil {
+		return
+	}
+	v := reg.SketchVec("session_param_seconds",
+		"per-session Section-2 parameter quantiles",
+		obs.DefaultSketchAlpha, "service", "phase")
+	rtt := v.With(service, "rtt")
+	st := v.With(service, "tstatic")
+	dy := v.With(service, "tdynamic")
+	de := v.With(service, "tdelta")
+	ov := v.With(service, "overall")
+	for _, p := range params {
+		rtt.Observe(p.RTT.Seconds())
+		st.Observe(p.Tstatic.Seconds())
+		dy.Observe(p.Tdynamic.Seconds())
+		de.Observe(p.Tdelta.Seconds())
+		ov.Observe(p.Overall.Seconds())
+	}
+}
+
+// SampleTails offers every measurable record of a dataset to the tail
+// sampler, so Select retains span trees only for queries in the
+// Tdynamic tail or violating the inference bound. The offered value is
+// Tdynamic; the violation flag fires when the FE-side ground-truth
+// fetch time falls outside Tdelta ≤ Tfetch ≤ Tdynamic (paper equation
+// 1) by more than tol — those queries falsify the inference framework
+// and must always be retained, however fast they were. tol absorbs
+// access-link jitter: the client-side bounds come from two observed
+// packets, each shifted by up to one jitter draw, so pass about twice
+// the fleet's access jitter (the same tolerance the bounds validation
+// uses) to avoid flagging measurement noise as model violations.
+//
+// boundary ≤ 0 derives the static/dynamic boundary from the dataset
+// first (BoundaryFromDataset). Records without a parseable session or
+// an assembled span are skipped. Returns how many records were offered
+// and how many carried violations.
+func SampleTails(ts *obs.TailSampler, ds *emulator.Dataset, boundary int, tol time.Duration) (offered, violations int) {
+	if ts == nil {
+		return 0, 0
+	}
+	if boundary <= 0 {
+		boundary = BoundaryFromDataset(ds)
+		if boundary <= 0 {
+			return 0, 0
+		}
+	}
+	for i := range ds.Records {
+		rr := &ds.Records[i]
+		if rr.Failed || rr.Span == nil || len(rr.Events) == 0 {
+			continue
+		}
+		p, err := ExtractRecord(*rr, boundary)
+		if err != nil {
+			continue
+		}
+		violation := violatesBounds(p, rr.TrueFetch, tol)
+		if violation {
+			violations++
+		}
+		ts.Offer(p.Tdynamic.Seconds(), violation, rr.Span)
+		offered++
+	}
+	return offered, violations
+}
+
+// violatesBounds reports whether a ground-truth fetch time falsifies
+// the inference bound Tdelta ≤ Tfetch ≤ Tdynamic beyond the jitter
+// tolerance. A zero fetch time means no ground truth was joined; that
+// cannot witness a violation.
+func violatesBounds(p Params, trueFetch, tol time.Duration) bool {
+	if trueFetch <= 0 {
+		return false
+	}
+	return trueFetch < p.Tdelta-tol || trueFetch > p.Tdynamic+tol
+}

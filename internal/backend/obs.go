@@ -21,18 +21,18 @@ func (dc *DataCenter) StartObserving(o *obs.Observer) {
 	if reg == nil {
 		return
 	}
-	host := string(dc.host)
+	host, site := string(dc.host), dc.site.Name
 	dc.met = &beMetrics{
 		requests: reg.CounterVec("be_requests_total",
-			"forwarded queries handled per data center", "be").With(host),
+			"forwarded queries handled per data center", "be", "site").With(host, site),
 		cacheHits: reg.CounterVec("be_cache_hits_total",
-			"result-cache hits (0 unless caching enabled)", "be").With(host),
+			"result-cache hits (0 unless caching enabled)", "be", "site").With(host, site),
 		procSeconds: reg.HistogramVec("be_proc_seconds",
 			"modeled back-end processing time per query",
-			obs.DurationBuckets(), "be").With(host),
+			obs.DurationBuckets(), "be", "site").With(host, site),
 		concurrency: reg.GaugeVec("be_concurrency",
-			"queries concurrently occupying BE workers", "be").With(host),
+			"queries concurrently occupying BE workers", "be", "site").With(host, site),
 		queueDepth: reg.GaugeVec("be_queue_depth",
-			"queries queued behind the BE worker pool", "be").With(host),
+			"queries queued behind the BE worker pool", "be", "site").With(host, site),
 	}
 }

@@ -283,15 +283,32 @@ func (r *Runner) finalize(ds *Dataset) *Dataset {
 
 // feLogKey joins an FE-side fetch record with a client-side session: the
 // FE saw the client's host and TCP source port, which the client's
-// record knows as (Node, Key.LocalPort). Client ports never recycle
-// within a run, so the join is exact.
+// record knows as (Node, Key.LocalPort). Ephemeral ports DO recycle on
+// long runs (a 16-bit space against paper-scale 720-repeat campaigns),
+// so a key maps to all fetch records that ever used the port; the join
+// then disambiguates by handshake time — the record whose GET arrived
+// inside the query's [IssuedAt, DoneAt] window is the right one.
 type feLogKey struct {
 	client string
 	port   uint16
 }
 
-// observe flushes registry snapshots and, when span tracing is on,
-// assembles one causal span tree per completed record.
+// matchFetch selects the fetch record belonging to the query window.
+// FE arrival always falls inside it: the GET leaves at IssuedAt and the
+// response returns by DoneAt. At most one candidate can match, because
+// a port cannot host two interleaved sessions.
+func matchFetch(cands []frontend.FetchRecord, issued, done time.Duration) (frontend.FetchRecord, bool) {
+	for _, fr := range cands {
+		if fr.Arrived >= issued && fr.Arrived <= done {
+			return fr, true
+		}
+	}
+	return frontend.FetchRecord{}, false
+}
+
+// observe flushes registry snapshots and, when span retention is on
+// (keep-everything tracer or tail sampler), assembles one causal span
+// tree per completed record.
 func (r *Runner) observe(ds *Dataset) {
 	o := r.obsv
 	if o == nil {
@@ -299,15 +316,17 @@ func (r *Runner) observe(ds *Dataset) {
 	}
 	r.simMetrics.Flush()
 	r.Net.ExportMetrics(o.Registry())
-	tracer := o.Tracer()
-	if tracer == nil {
+	r.observePhases(ds)
+	if !o.WantSpans() {
 		return
 	}
-	logs := make(map[simnet.HostID]map[feLogKey]frontend.FetchRecord, len(r.Dep.FEs))
+	tracer := o.Tracer()
+	logs := make(map[simnet.HostID]map[feLogKey][]frontend.FetchRecord, len(r.Dep.FEs))
 	for _, fe := range r.Dep.FEs {
-		m := make(map[feLogKey]frontend.FetchRecord)
+		m := make(map[feLogKey][]frontend.FetchRecord)
 		for _, fr := range fe.FetchLog() {
-			m[feLogKey{fr.Client, fr.ClientPort}] = fr
+			k := feLogKey{fr.Client, fr.ClientPort}
+			m[k] = append(m[k], fr)
 		}
 		logs[fe.Host()] = m
 	}
@@ -321,11 +340,50 @@ func (r *Runner) observe(ds *Dataset) {
 	}
 }
 
+// observePhases feeds the dimensional quantile sketches: per-phase
+// durations labeled by service, per-FE overall delay, and per-vantage
+// overall delay under a bounded cardinality cap (fleet nodes are the
+// one label dimension that scales with deployment size).
+func (r *Runner) observePhases(ds *Dataset) {
+	reg := r.obsv.Registry()
+	if reg == nil {
+		return
+	}
+	phase := reg.SketchVec("query_phase_seconds",
+		"per-phase query durations (client-observed)",
+		obs.DefaultSketchAlpha, "service", "phase")
+	perFE := reg.SketchVec("fe_overall_seconds",
+		"overall query delay by serving front-end",
+		obs.DefaultSketchAlpha, "service", "fe")
+	perNode := reg.SketchVec("vantage_overall_seconds",
+		"overall query delay by vantage node",
+		obs.DefaultSketchAlpha, "service", "vantage").Bounded(obs.DefaultCardinality)
+	svc := ds.Service
+	for i := range ds.Records {
+		rr := &ds.Records[i]
+		if rr.Failed {
+			continue
+		}
+		overall := rr.OverallDelay().Seconds()
+		phase.With(svc, "overall").Observe(overall)
+		perFE.With(svc, string(rr.FE)).Observe(overall)
+		perNode.With(svc, string(rr.Node)).Observe(overall)
+		if rr.DNSTime > 0 {
+			phase.With(svc, "dns").Observe(rr.DNSTime.Seconds())
+		}
+		if s, err := trace.Parse(rr.Key, rr.Events); err == nil {
+			phase.With(svc, "handshake").Observe(s.RTT.Seconds())
+			phase.With(svc, "get").Observe((s.T3 - s.T1).Seconds())
+			phase.With(svc, "delivery").Observe((s.TE - s.T3).Seconds())
+		}
+	}
+}
+
 // assembleSpan builds the paper's Figure-2 causal phases of one query as
 // a span tree: client-side phases from the parsed packet session, plus
 // the FE's hidden ground truth (static flush, FE↔BE fetch) on a second
 // track. As a side effect it fills Record.TrueFetch from the FE log.
-func (r *Runner) assembleSpan(rr *Record, feLog map[feLogKey]frontend.FetchRecord) *obs.Span {
+func (r *Runner) assembleSpan(rr *Record, feLog map[feLogKey][]frontend.FetchRecord) *obs.Span {
 	start := rr.IssuedAt - rr.DNSTime
 	root := &obs.Span{
 		Name:  "query",
@@ -345,7 +403,8 @@ func (r *Runner) assembleSpan(rr *Record, feLog map[feLogKey]frontend.FetchRecor
 		root.Child("get-request", s.T1, s.T3)
 		root.Child("delivery", s.T3, s.TE)
 	}
-	if fr, ok := feLog[feLogKey{string(rr.Node), rr.Key.LocalPort}]; ok {
+	cands := feLog[feLogKey{string(rr.Node), rr.Key.LocalPort}]
+	if fr, ok := matchFetch(cands, rr.IssuedAt, rr.DoneAt); ok {
 		if fr.StaticAt > 0 {
 			c := root.Child("fe-static-flush", fr.Arrived, fr.StaticAt)
 			c.Track = "frontend"

@@ -363,6 +363,7 @@ func (fe *Server) handle(w *httpsim.ResponseWriter, r *httpsim.Request) {
 			fe.fetchTimes = append(fe.fetchTimes, sim.Now()-arrived)
 			if m := fe.met; m != nil {
 				m.fetchSeconds.Observe((sim.Now() - arrived).Seconds())
+				m.fetchQuantiles.Observe((sim.Now() - arrived).Seconds())
 			}
 			if logIdx >= 0 {
 				fe.fetchLog[logIdx].FetchDone = sim.Now()

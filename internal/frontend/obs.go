@@ -9,38 +9,43 @@ import (
 // feMetrics are one FE server's resolved registry instruments (labeled
 // children of the shared fe_* families).
 type feMetrics struct {
-	requests      *obs.Counter
-	staticFlushes *obs.Counter
-	fetchSeconds  *obs.Histogram
-	concurrency   *obs.Gauge
-	queueDepth    *obs.Gauge
-	beDials       *obs.Counter
+	requests       *obs.Counter
+	staticFlushes  *obs.Counter
+	fetchSeconds   *obs.Histogram
+	fetchQuantiles *obs.Sketch
+	concurrency    *obs.Gauge
+	queueDepth     *obs.Gauge
+	beDials        *obs.Counter
 }
 
 // StartObserving wires this FE into the observer: registry metrics
-// (labeled by FE host) and, when the observer carries a span tracer,
-// per-request fetch records for ground-truth span assembly. Call before
-// traffic; a nil observer is a no-op.
+// (labeled by FE host and geographic site) and, when the observer
+// retains spans (keep-everything tracer or tail sampler), per-request
+// fetch records for ground-truth span assembly. Call before traffic; a
+// nil observer is a no-op.
 func (fe *Server) StartObserving(o *obs.Observer) {
 	if reg := o.Registry(); reg != nil {
-		host := string(fe.host)
+		host, site := string(fe.host), fe.site.Name
 		fe.met = &feMetrics{
 			requests: reg.CounterVec("fe_requests_total",
-				"client requests handled per front-end", "fe").With(host),
+				"client requests handled per front-end", "fe", "site").With(host, site),
 			staticFlushes: reg.CounterVec("fe_static_flushes_total",
-				"cached static prefixes flushed to clients", "fe").With(host),
+				"cached static prefixes flushed to clients", "fe", "site").With(host, site),
 			fetchSeconds: reg.HistogramVec("fe_fetch_seconds",
 				"ground-truth FE-BE fetch time (GET arrival to full dynamic portion)",
-				obs.DurationBuckets(), "fe").With(host),
+				obs.DurationBuckets(), "fe", "site").With(host, site),
+			fetchQuantiles: reg.SketchVec("fe_fetch_quantiles",
+				"ground-truth FE-BE fetch time quantile sketch",
+				obs.DefaultSketchAlpha, "fe", "site").With(host, site),
 			concurrency: reg.GaugeVec("fe_concurrency",
-				"requests concurrently occupying FE workers", "fe").With(host),
+				"requests concurrently occupying FE workers", "fe", "site").With(host, site),
 			queueDepth: reg.GaugeVec("fe_queue_depth",
-				"requests queued behind the FE worker pool", "fe").With(host),
+				"requests queued behind the FE worker pool", "fe", "site").With(host, site),
 			beDials: reg.CounterVec("fe_be_dials_total",
-				"fresh back-end connections dialed", "fe").With(host),
+				"fresh back-end connections dialed", "fe", "site").With(host, site),
 		}
 	}
-	if o.Tracer() != nil {
+	if o.WantSpans() {
 		fe.logFetches = true
 	}
 }

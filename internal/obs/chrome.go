@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"strings"
 	"time"
 )
 
@@ -159,9 +160,12 @@ func usec(d time.Duration) string {
 	return fmt.Sprintf("%s%d.%03d", neg, d/time.Microsecond, d%time.Microsecond)
 }
 
-// jstr JSON-encodes a string.
+// jstr JSON-encodes a string. Invalid UTF-8 is coerced to U+FFFD first
+// so encoding is idempotent: re-encoding a decoded value yields the
+// same bytes (encoding/json would otherwise escape the invalid byte on
+// the first pass and pass the replacement rune through on the second).
 func jstr(s string) string {
-	b, _ := json.Marshal(s)
+	b, _ := json.Marshal(strings.ToValidUTF8(s, "�"))
 	return string(b)
 }
 

@@ -64,14 +64,44 @@ func writeSeries(w io.Writer, f *Family, s SeriesView) error {
 		_, err := fmt.Fprintf(w, "%s_count%s %d\n",
 			f.Name, labelString(s.LabelNames, s.LabelValues, ""), h.Count())
 		return err
+	case KindSketch:
+		sk := s.Sketch
+		for _, q := range SummaryQuantiles() {
+			if _, err := fmt.Fprintf(w, "%s%s %s\n",
+				f.Name, labelStringQ(s.LabelNames, s.LabelValues, fmtFloat(q)),
+				fmtFloat(sk.Quantile(q))); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum%s %s\n",
+			f.Name, labelString(s.LabelNames, s.LabelValues, ""), fmtFloat(sk.Sum())); err != nil {
+			return err
+		}
+		_, err := fmt.Fprintf(w, "%s_count%s %d\n",
+			f.Name, labelString(s.LabelNames, s.LabelValues, ""), sk.Count())
+		return err
 	}
 	return nil
 }
 
+// SummaryQuantiles are the fixed quantiles sketch families expose in
+// the Prometheus text format (the full sketch is available via the
+// JSONL export).
+func SummaryQuantiles() []float64 { return []float64{0.5, 0.9, 0.95, 0.99} }
+
 // labelString renders {k="v",...}, appending an le bucket label when
 // non-empty. Empty label sets render as "".
 func labelString(names, values []string, le string) string {
-	if len(names) == 0 && le == "" {
+	return labelStringExtra(names, values, "le", le)
+}
+
+// labelStringQ renders {k="v",...} with a summary quantile label.
+func labelStringQ(names, values []string, q string) string {
+	return labelStringExtra(names, values, "quantile", q)
+}
+
+func labelStringExtra(names, values []string, extraName, extraVal string) string {
+	if len(names) == 0 && extraVal == "" {
 		return ""
 	}
 	var b strings.Builder
@@ -85,12 +115,13 @@ func labelString(names, values []string, le string) string {
 		b.WriteString(escapeLabel(values[i]))
 		b.WriteByte('"')
 	}
-	if le != "" {
+	if extraVal != "" {
 		if len(names) > 0 {
 			b.WriteByte(',')
 		}
-		b.WriteString(`le="`)
-		b.WriteString(le)
+		b.WriteString(extraName)
+		b.WriteString(`="`)
+		b.WriteString(extraVal)
 		b.WriteByte('"')
 	}
 	b.WriteByte('}')

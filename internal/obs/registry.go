@@ -1,7 +1,8 @@
 // Package obs is the simulator's observability layer: a deterministic,
 // sim-clock-driven metrics registry (counters, gauges, fixed-bucket
-// histograms), a per-query span tracer, and exporters for Chrome
-// trace-event JSON, Prometheus text exposition and JSONL span dumps.
+// histograms, quantile sketches), a per-query span tracer with
+// tail-based exemplar sampling, and exporters for Chrome trace-event
+// JSON, Prometheus text exposition and JSONL metric/span dumps.
 //
 // Design constraints, in order:
 //
@@ -13,14 +14,24 @@
 //     receiver and returns immediately, so instrumented hot paths pay
 //     one pointer compare when observability is off. The scheduler and
 //     packet benchmarks gate this (< 10% enabled, ~0% disabled).
-//   - No dependencies. The package imports only the standard library, so
-//     every layer of the stack (simnet upward) can depend on it without
-//     cycles.
+//   - No dependencies. The package imports only the standard library
+//     plus internal/stats (itself dependency-free), so every layer of
+//     the stack (simnet upward) can depend on it without cycles.
+//   - Bounded cardinality. Labeled families cap their series count;
+//     beyond the cap, new label combinations collapse into a single
+//     OverflowLabel series instead of growing without limit, so
+//     fleet-scale label dimensions (one series per vantage node) cannot
+//     exhaust memory.
 package obs
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
+	"strings"
+	"unicode/utf8"
+
+	"fesplit/internal/stats"
 )
 
 // Kind distinguishes metric families in the registry and its exports.
@@ -31,6 +42,9 @@ const (
 	KindCounter Kind = iota
 	KindGauge
 	KindHistogram
+	// KindSketch is a mergeable quantile sketch (stats.Sketch); it
+	// exports as a Prometheus summary with fixed quantiles.
+	KindSketch
 )
 
 // String returns the Prometheus TYPE keyword for the kind.
@@ -42,6 +56,8 @@ func (k Kind) String() string {
 		return "gauge"
 	case KindHistogram:
 		return "histogram"
+	case KindSketch:
+		return "summary"
 	}
 	return "untyped"
 }
@@ -157,6 +173,52 @@ func (h *Histogram) Sum() float64 {
 	return h.sum
 }
 
+// Sketch is a quantile-sketch instrument: a nil-safe wrapper around
+// stats.Sketch recording a stream of values and answering percentile
+// queries within the family's configured relative error. All methods
+// are no-ops (or zero) on a nil receiver.
+type Sketch struct{ sk *stats.Sketch }
+
+// Observe records one sample.
+func (s *Sketch) Observe(v float64) {
+	if s != nil {
+		s.sk.Add(v)
+	}
+}
+
+// Quantile returns the estimated q-quantile (0 on nil or empty).
+func (s *Sketch) Quantile(q float64) float64 {
+	if s == nil {
+		return 0
+	}
+	return s.sk.Quantile(q)
+}
+
+// Count returns the number of samples (0 on nil).
+func (s *Sketch) Count() uint64 {
+	if s == nil {
+		return 0
+	}
+	return s.sk.Count()
+}
+
+// Sum returns the sum of all samples (0 on nil).
+func (s *Sketch) Sum() float64 {
+	if s == nil {
+		return 0
+	}
+	return s.sk.Sum()
+}
+
+// Underlying exposes the wrapped stats.Sketch for export and merging
+// (nil on a nil instrument).
+func (s *Sketch) Underlying() *stats.Sketch {
+	if s == nil {
+		return nil
+	}
+	return s.sk
+}
+
 // DurationBuckets are histogram bounds in seconds suited to the
 // simulation's latency scales: 100 µs to ~30 s, roughly ×3 apart.
 func DurationBuckets() []float64 {
@@ -175,7 +237,18 @@ type series struct {
 	counter     *Counter
 	gauge       *Gauge
 	hist        *Histogram
+	sketch      *Sketch
 }
+
+// DefaultCardinality is the per-family series cap applied when a vec is
+// not explicitly Bounded: generous enough for per-site dimensions,
+// finite so an unbounded label (query text, client port) cannot grow
+// the registry without limit.
+const DefaultCardinality = 1024
+
+// OverflowLabel is the label value carried by the collapse series that
+// absorbs observations beyond a family's cardinality bound.
+const OverflowLabel = "_overflow"
 
 // Family is one named metric family: a kind, help text, label names and
 // the labeled children created so far.
@@ -185,6 +258,9 @@ type Family struct {
 	Kind   Kind
 	labels []string
 	bounds []float64 // histogram families only
+	alpha  float64   // sketch families only
+	limit  int       // series cap; overflow collapses into OverflowLabel
+	site   string    // file:line of the first registration
 	kids   map[string]*series
 }
 
@@ -200,10 +276,22 @@ func NewRegistry() *Registry {
 	return &Registry{families: make(map[string]*Family)}
 }
 
-// family returns (creating if needed) the named family, panicking on a
-// kind or label-arity mismatch — that is a programming error, not a
-// runtime condition.
-func (r *Registry) family(name, help string, kind Kind, labels []string, bounds []float64) *Family {
+// regSite reports the file:line that called into the registry's public
+// surface, for duplicate-registration diagnostics.
+func regSite() string {
+	// 0 = regSite, 1 = family, 2 = the Registry method, 3 = its caller.
+	if _, file, line, ok := runtime.Caller(3); ok {
+		return fmt.Sprintf("%s:%d", file, line)
+	}
+	return "unknown"
+}
+
+// family returns (creating if needed) the named family. Re-registering
+// a name with a different schema — kind, label names, histogram bounds,
+// sketch accuracy or help text — panics with both registration sites:
+// the two call sites are silently writing into each other's series, and
+// that is a programming error, not a runtime condition.
+func (r *Registry) family(name, help string, kind Kind, labels []string, bounds []float64, alpha float64) *Family {
 	f, ok := r.families[name]
 	if !ok {
 		f = &Family{
@@ -212,43 +300,107 @@ func (r *Registry) family(name, help string, kind Kind, labels []string, bounds 
 			Kind:   kind,
 			labels: labels,
 			bounds: bounds,
+			alpha:  alpha,
+			limit:  DefaultCardinality,
+			site:   regSite(),
 			kids:   make(map[string]*series),
 		}
 		r.families[name] = f
 		return f
 	}
-	if f.Kind != kind || len(f.labels) != len(labels) {
-		panic(fmt.Sprintf("obs: metric %q re-registered with different kind or labels", name))
+	if mismatch := f.schemaMismatch(help, kind, labels, bounds, alpha); mismatch != "" {
+		panic(fmt.Sprintf("obs: metric %q re-registered with different %s\n  first registered at %s\n  re-registered at    %s",
+			name, mismatch, f.site, regSite()))
 	}
 	return f
 }
 
+// schemaMismatch names the first differing schema field, or "" when the
+// registration is an exact duplicate (the normal get-or-create idiom).
+func (f *Family) schemaMismatch(help string, kind Kind, labels []string, bounds []float64, alpha float64) string {
+	if f.Kind != kind {
+		return fmt.Sprintf("kind (%s vs %s)", f.Kind, kind)
+	}
+	if len(f.labels) != len(labels) {
+		return fmt.Sprintf("label arity (%d vs %d)", len(f.labels), len(labels))
+	}
+	for i := range labels {
+		if f.labels[i] != labels[i] {
+			return fmt.Sprintf("label names (%q vs %q)", f.labels[i], labels[i])
+		}
+	}
+	if len(f.bounds) != len(bounds) {
+		return "histogram bounds"
+	}
+	for i := range bounds {
+		if f.bounds[i] != bounds[i] {
+			return "histogram bounds"
+		}
+	}
+	if f.alpha != alpha {
+		return fmt.Sprintf("sketch accuracy (%v vs %v)", f.alpha, alpha)
+	}
+	if f.Help != help {
+		return "help text"
+	}
+	return ""
+}
+
 // child returns (creating if needed) the series for the given label
-// values.
+// values. Once the family holds limit series, unseen label combinations
+// collapse into the shared OverflowLabel series.
 func (f *Family) child(values []string) *series {
 	if len(values) != len(f.labels) {
 		panic(fmt.Sprintf("obs: metric %q wants %d label values, got %d",
 			f.Name, len(f.labels), len(values)))
 	}
+	// Coerce label values to valid UTF-8 up front so every export format
+	// (Prometheus text, JSONL, JSON traces) sees identical bytes and the
+	// JSONL dump round-trips to the same series identity.
+	for i, v := range values {
+		if !utf8.ValidString(v) {
+			clean := make([]string, len(values))
+			copy(clean, values)
+			for j := i; j < len(clean); j++ {
+				clean[j] = strings.ToValidUTF8(clean[j], "�")
+			}
+			values = clean
+			break
+		}
+	}
 	key := labelKey(values)
 	s, ok := f.kids[key]
-	if !ok {
-		vals := make([]string, len(values))
-		copy(vals, values)
-		s = &series{labelValues: vals}
-		switch f.Kind {
-		case KindCounter:
-			s.counter = &Counter{}
-		case KindGauge:
-			s.gauge = &Gauge{}
-		case KindHistogram:
-			s.hist = &Histogram{
-				bounds: f.bounds,
-				counts: make([]uint64, len(f.bounds)+1),
-			}
-		}
-		f.kids[key] = s
+	if ok {
+		return s
 	}
+	if f.limit > 0 && len(f.labels) > 0 && len(f.kids) >= f.limit {
+		overflow := make([]string, len(f.labels))
+		for i := range overflow {
+			overflow[i] = OverflowLabel
+		}
+		okey := labelKey(overflow)
+		if s, ok = f.kids[okey]; ok {
+			return s
+		}
+		key, values = okey, overflow
+	}
+	vals := make([]string, len(values))
+	copy(vals, values)
+	s = &series{labelValues: vals}
+	switch f.Kind {
+	case KindCounter:
+		s.counter = &Counter{}
+	case KindGauge:
+		s.gauge = &Gauge{}
+	case KindHistogram:
+		s.hist = &Histogram{
+			bounds: f.bounds,
+			counts: make([]uint64, len(f.bounds)+1),
+		}
+	case KindSketch:
+		s.sketch = &Sketch{sk: stats.NewSketch(f.alpha)}
+	}
+	f.kids[key] = s
 	return s
 }
 
@@ -270,7 +422,7 @@ func (r *Registry) Counter(name, help string) *Counter {
 	if r == nil {
 		return nil
 	}
-	return r.family(name, help, KindCounter, nil, nil).child(nil).counter
+	return r.family(name, help, KindCounter, nil, nil, 0).child(nil).counter
 }
 
 // Gauge returns the unlabeled gauge of the named family.
@@ -278,7 +430,7 @@ func (r *Registry) Gauge(name, help string) *Gauge {
 	if r == nil {
 		return nil
 	}
-	return r.family(name, help, KindGauge, nil, nil).child(nil).gauge
+	return r.family(name, help, KindGauge, nil, nil, 0).child(nil).gauge
 }
 
 // Histogram returns the unlabeled histogram of the named family with
@@ -287,7 +439,29 @@ func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
 	if r == nil {
 		return nil
 	}
-	return r.family(name, help, KindHistogram, nil, bounds).child(nil).hist
+	return r.family(name, help, KindHistogram, nil, bounds, 0).child(nil).hist
+}
+
+// Sketch returns the unlabeled quantile sketch of the named family with
+// the given relative accuracy (≤ 0 → stats.DefaultSketchAlpha).
+func (r *Registry) Sketch(name, help string, alpha float64) *Sketch {
+	if r == nil {
+		return nil
+	}
+	return r.family(name, help, KindSketch, nil, nil, normAlpha(alpha)).child(nil).sketch
+}
+
+// DefaultSketchAlpha re-exports the stats-layer default relative
+// accuracy so instrumentation sites need not import internal/stats.
+const DefaultSketchAlpha = stats.DefaultSketchAlpha
+
+// normAlpha resolves the default sketch accuracy once, so schema checks
+// compare resolved values.
+func normAlpha(alpha float64) float64 {
+	if alpha <= 0 || alpha >= 1 {
+		return stats.DefaultSketchAlpha
+	}
+	return alpha
 }
 
 // CounterVec is a counter family with labels.
@@ -298,7 +472,7 @@ func (r *Registry) CounterVec(name, help string, labels ...string) *CounterVec {
 	if r == nil {
 		return nil
 	}
-	return &CounterVec{f: r.family(name, help, KindCounter, labels, nil)}
+	return &CounterVec{f: r.family(name, help, KindCounter, labels, nil, 0)}
 }
 
 // With returns the child counter for the label values (nil on nil vec).
@@ -309,6 +483,15 @@ func (v *CounterVec) With(values ...string) *Counter {
 	return v.f.child(values).counter
 }
 
+// Bounded caps the vec's series count (see Family cardinality) and
+// returns the vec for chaining.
+func (v *CounterVec) Bounded(n int) *CounterVec {
+	if v != nil {
+		v.f.limit = n
+	}
+	return v
+}
+
 // GaugeVec is a gauge family with labels.
 type GaugeVec struct{ f *Family }
 
@@ -317,7 +500,7 @@ func (r *Registry) GaugeVec(name, help string, labels ...string) *GaugeVec {
 	if r == nil {
 		return nil
 	}
-	return &GaugeVec{f: r.family(name, help, KindGauge, labels, nil)}
+	return &GaugeVec{f: r.family(name, help, KindGauge, labels, nil, 0)}
 }
 
 // With returns the child gauge for the label values (nil on nil vec).
@@ -328,6 +511,14 @@ func (v *GaugeVec) With(values ...string) *Gauge {
 	return v.f.child(values).gauge
 }
 
+// Bounded caps the vec's series count and returns the vec for chaining.
+func (v *GaugeVec) Bounded(n int) *GaugeVec {
+	if v != nil {
+		v.f.limit = n
+	}
+	return v
+}
+
 // HistogramVec is a histogram family with labels.
 type HistogramVec struct{ f *Family }
 
@@ -336,7 +527,7 @@ func (r *Registry) HistogramVec(name, help string, bounds []float64, labels ...s
 	if r == nil {
 		return nil
 	}
-	return &HistogramVec{f: r.family(name, help, KindHistogram, labels, bounds)}
+	return &HistogramVec{f: r.family(name, help, KindHistogram, labels, bounds, 0)}
 }
 
 // With returns the child histogram for the label values (nil on nil
@@ -346,6 +537,42 @@ func (v *HistogramVec) With(values ...string) *Histogram {
 		return nil
 	}
 	return v.f.child(values).hist
+}
+
+// Bounded caps the vec's series count and returns the vec for chaining.
+func (v *HistogramVec) Bounded(n int) *HistogramVec {
+	if v != nil {
+		v.f.limit = n
+	}
+	return v
+}
+
+// SketchVec is a quantile-sketch family with labels.
+type SketchVec struct{ f *Family }
+
+// SketchVec returns the labeled sketch family with the given relative
+// accuracy (≤ 0 → stats.DefaultSketchAlpha).
+func (r *Registry) SketchVec(name, help string, alpha float64, labels ...string) *SketchVec {
+	if r == nil {
+		return nil
+	}
+	return &SketchVec{f: r.family(name, help, KindSketch, labels, nil, normAlpha(alpha))}
+}
+
+// With returns the child sketch for the label values (nil on nil vec).
+func (v *SketchVec) With(values ...string) *Sketch {
+	if v == nil {
+		return nil
+	}
+	return v.f.child(values).sketch
+}
+
+// Bounded caps the vec's series count and returns the vec for chaining.
+func (v *SketchVec) Bounded(n int) *SketchVec {
+	if v != nil {
+		v.f.limit = n
+	}
+	return v
 }
 
 // Families returns the registry's families sorted by name (nil registry
@@ -382,17 +609,27 @@ func (f *Family) Series() []SeriesView {
 			Counter:     s.counter,
 			Gauge:       s.gauge,
 			Histogram:   s.hist,
+			Sketch:      s.sketch,
 		})
 	}
 	return out
 }
 
+// Alpha returns the family's sketch relative accuracy (0 for non-sketch
+// families).
+func (f *Family) Alpha() float64 { return f.alpha }
+
+// LabelNames returns the family's label names.
+func (f *Family) LabelNames() []string { return f.labels }
+
 // SeriesView is one labeled series of a family, for export. Exactly one
-// of Counter/Gauge/Histogram is non-nil, matching the family kind.
+// of Counter/Gauge/Histogram/Sketch is non-nil, matching the family
+// kind.
 type SeriesView struct {
 	LabelNames  []string
 	LabelValues []string
 	Counter     *Counter
 	Gauge       *Gauge
 	Histogram   *Histogram
+	Sketch      *Sketch
 }

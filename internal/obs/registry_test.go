@@ -99,6 +99,118 @@ func TestRegistrationMismatchPanics(t *testing.T) {
 	r.Gauge("m", "")
 }
 
+// TestRegistrationPanicNamesBothSites pins the duplicate-registration
+// diagnostic: the panic must name the first registration site and the
+// conflicting one, so the two call sites can actually be found.
+func TestRegistrationPanicNamesBothSites(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("dup_total", "original help") // first site
+	defer func() {
+		p := recover()
+		if p == nil {
+			t.Fatal("help-text mismatch must panic")
+		}
+		msg, ok := p.(string)
+		if !ok {
+			t.Fatalf("panic payload %T, want string", p)
+		}
+		if !strings.Contains(msg, "registry_test.go") {
+			t.Errorf("panic does not name the registration sites: %s", msg)
+		}
+		if !strings.Contains(msg, "first registered at") || !strings.Contains(msg, "re-registered at") {
+			t.Errorf("panic does not carry both sites: %s", msg)
+		}
+		if !strings.Contains(msg, "dup_total") {
+			t.Errorf("panic does not name the metric: %s", msg)
+		}
+	}()
+	r.Counter("dup_total", "different help") // conflicting site
+}
+
+func TestIdenticalReRegistrationIsFine(t *testing.T) {
+	r := NewRegistry()
+	h1 := r.Histogram("h_seconds", "help", DurationBuckets())
+	h2 := r.Histogram("h_seconds", "help", DurationBuckets())
+	if h1 != h2 {
+		t.Fatal("identical re-registration must return the same instrument")
+	}
+	s1 := r.SketchVec("s_seconds", "help", 0.02, "fe")
+	s2 := r.SketchVec("s_seconds", "help", 0.02, "fe")
+	if s1.With("x") != s2.With("x") {
+		t.Fatal("identical sketch re-registration must share children")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("alpha mismatch must panic")
+		}
+	}()
+	r.SketchVec("s_seconds", "help", 0.05, "fe")
+}
+
+func TestSketchInstrument(t *testing.T) {
+	r := NewRegistry()
+	sk := r.Sketch("fetch_q", "fetch quantiles", 0.01)
+	for i := 1; i <= 1000; i++ {
+		sk.Observe(float64(i))
+	}
+	if sk.Count() != 1000 {
+		t.Fatalf("count = %d", sk.Count())
+	}
+	p50 := sk.Quantile(0.5)
+	if p50 < 495 || p50 > 506 {
+		t.Fatalf("p50 = %v, want ~500 within 1%%", p50)
+	}
+	var b strings.Builder
+	if err := WritePrometheus(&b, r); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE fetch_q summary",
+		`fetch_q{quantile="0.5"}`,
+		`fetch_q{quantile="0.99"}`,
+		"fetch_q_sum 500500",
+		"fetch_q_count 1000",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("summary exposition missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestCardinalityBound(t *testing.T) {
+	r := NewRegistry()
+	v := r.CounterVec("per_node_total", "per-vantage requests", "vantage").Bounded(4)
+	for i := 0; i < 10; i++ {
+		v.With(string(rune('a' + i))).Inc()
+	}
+	f := r.Families()[0]
+	series := f.Series()
+	if len(series) != 5 { // 4 real + 1 overflow
+		t.Fatalf("got %d series, want 4 + overflow", len(series))
+	}
+	var overflow *Counter
+	for _, s := range series {
+		if s.LabelValues[0] == OverflowLabel {
+			overflow = s.Counter
+		}
+	}
+	if overflow == nil {
+		t.Fatal("no overflow series created")
+	}
+	if overflow.Value() != 6 {
+		t.Fatalf("overflow absorbed %v increments, want 6", overflow.Value())
+	}
+	// Existing children keep resolving to themselves past the cap.
+	if v.With("a").Value() != 1 {
+		t.Fatal("pre-cap child lost its identity")
+	}
+	// New children keep collapsing deterministically.
+	if v.With("zz"); overflow.Value() != 6 {
+		t.Fatal("With alone must not increment")
+	}
+}
+
 func TestPrometheusExposition(t *testing.T) {
 	r := NewRegistry()
 	r.Counter("sim_events_total", "events executed").Add(42)

@@ -1,0 +1,174 @@
+package obs
+
+import (
+	"sort"
+
+	"fesplit/internal/stats"
+)
+
+// TailConfig parameterizes a TailSampler.
+type TailConfig struct {
+	// Percentile of the offered value distribution (typically Tdynamic)
+	// beyond which a query's span tree is retained. Default 0.95.
+	Percentile float64
+	// MaxExemplars caps how many tail exemplars are kept (0 → 64).
+	// Bound-violating exemplars are never evicted by the cap: they are
+	// the measurement anomalies the whole framework exists to surface.
+	MaxExemplars int
+	// Alpha is the relative accuracy of the internal threshold sketch
+	// (≤ 0 → stats.DefaultSketchAlpha).
+	Alpha float64
+}
+
+func (c TailConfig) withDefaults() TailConfig {
+	if c.Percentile <= 0 || c.Percentile >= 1 {
+		c.Percentile = 0.95
+	}
+	if c.MaxExemplars <= 0 {
+		c.MaxExemplars = 64
+	}
+	return c
+}
+
+// Exemplar is one retained span tree plus the value and verdicts that
+// selected it.
+type Exemplar struct {
+	// Value is the offered selection value in seconds (Tdynamic for the
+	// emulator's queries).
+	Value float64
+	// Violation marks records that broke the Tdelta ≤ Tfetch ≤ Tdynamic
+	// inference bound — always retained, never capped.
+	Violation bool
+	// Span is the query's full causal span tree.
+	Span *Span
+	// Seq is the offer order, for stable tie-breaking.
+	Seq int
+}
+
+// TailSampler retains full span trees only for the queries that matter
+// at scale: the tail of the offered value distribution and every
+// bound-violating record. It replaces all-or-nothing span export — a
+// fleet of millions cannot ship every trace, but percentiles plus tail
+// exemplars preserve exactly the evidence the paper's analysis needs
+// (which queries were slow, and where their time went).
+//
+// Offer all candidates first, then call Select (or Exemplars/Spans,
+// which select lazily): the percentile threshold is a property of the
+// whole run's distribution, so selection is two-phase by design. All
+// methods are nil-safe; a nil sampler retains nothing.
+type TailSampler struct {
+	cfg      TailConfig
+	sketch   *stats.Sketch
+	cands    []Exemplar
+	selected []Exemplar
+	done     bool
+}
+
+// NewTailSampler returns an empty sampler.
+func NewTailSampler(cfg TailConfig) *TailSampler {
+	cfg = cfg.withDefaults()
+	return &TailSampler{cfg: cfg, sketch: stats.NewSketch(cfg.Alpha)}
+}
+
+// Config returns the sampler's resolved configuration.
+func (t *TailSampler) Config() TailConfig {
+	if t == nil {
+		return TailConfig{}.withDefaults()
+	}
+	return t.cfg
+}
+
+// Offer presents one completed query: its selection value (seconds),
+// whether it violated the inference bound, and its span tree. Nil
+// samplers and nil spans are ignored.
+func (t *TailSampler) Offer(value float64, violation bool, span *Span) {
+	if t == nil || span == nil {
+		return
+	}
+	t.done = false
+	t.selected = nil
+	t.sketch.Add(value)
+	t.cands = append(t.cands, Exemplar{
+		Value: value, Violation: violation, Span: span, Seq: len(t.cands),
+	})
+}
+
+// Offered returns how many candidates have been offered.
+func (t *TailSampler) Offered() int {
+	if t == nil {
+		return 0
+	}
+	return len(t.cands)
+}
+
+// Threshold returns the current selection threshold: the configured
+// percentile of every value offered so far (0 when nothing offered).
+func (t *TailSampler) Threshold() float64 {
+	if t == nil {
+		return 0
+	}
+	return t.sketch.Quantile(t.cfg.Percentile)
+}
+
+// Select computes the retained exemplar set: every violation, plus
+// tail candidates at or above the percentile threshold, capped at
+// MaxExemplars with the largest values winning (ties broken by offer
+// order). The result is sorted by offer order so exports follow
+// simulation time. Select is idempotent until the next Offer.
+func (t *TailSampler) Select() []Exemplar {
+	if t == nil {
+		return nil
+	}
+	if t.done {
+		return t.selected
+	}
+	thr := t.Threshold()
+	var tail, kept []Exemplar
+	for _, c := range t.cands {
+		switch {
+		case c.Violation:
+			kept = append(kept, c)
+		case c.Value >= thr:
+			tail = append(tail, c)
+		}
+	}
+	if budget := t.cfg.MaxExemplars - len(kept); len(tail) > budget {
+		if budget < 0 {
+			budget = 0
+		}
+		sort.SliceStable(tail, func(i, j int) bool {
+			if tail[i].Value != tail[j].Value {
+				return tail[i].Value > tail[j].Value
+			}
+			return tail[i].Seq < tail[j].Seq
+		})
+		tail = tail[:budget]
+	}
+	kept = append(kept, tail...)
+	sort.Slice(kept, func(i, j int) bool { return kept[i].Seq < kept[j].Seq })
+	t.selected = kept
+	t.done = true
+	return kept
+}
+
+// Exemplars is an alias for Select.
+func (t *TailSampler) Exemplars() []Exemplar { return t.Select() }
+
+// Spans returns the selected exemplars' span trees as a Tracer, ready
+// for the Chrome-trace and JSONL span exporters.
+func (t *TailSampler) Spans() *Tracer {
+	tr := NewTracer()
+	for _, e := range t.Select() {
+		tr.Add(e.Span)
+	}
+	return tr
+}
+
+// ValueSketch exposes the sampler's internal value distribution (the
+// quantile sketch the threshold is computed from).
+func (t *TailSampler) ValueSketch() *stats.Sketch {
+	if t == nil {
+		return nil
+	}
+	return t.sketch
+}

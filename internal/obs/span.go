@@ -138,17 +138,31 @@ func (t *Tracer) Walk(fn func(s *Span, depth int)) {
 	}
 }
 
-// Observer bundles the two halves of the observability layer. A nil
-// *Observer disables everything it would wire: both fields' methods are
+// Observer bundles the halves of the observability layer. A nil
+// *Observer disables everything it would wire: all fields' methods are
 // nil-safe, so instrumentation reads naturally at call sites.
+//
+// Spans and Tail govern span retention independently: a non-nil Spans
+// tracer keeps every assembled tree (small runs, debugging), a non-nil
+// Tail sampler keeps only tail/violation exemplars (the scalable
+// default of the obs CLI). Either one being set makes the emulator
+// assemble span trees.
 type Observer struct {
 	Reg   *Registry
 	Spans *Tracer
+	Tail  *TailSampler
 }
 
-// NewObserver returns an observer with a fresh registry and tracer.
+// NewObserver returns an observer with a fresh registry and a
+// keep-everything tracer.
 func NewObserver() *Observer {
 	return &Observer{Reg: NewRegistry(), Spans: NewTracer()}
+}
+
+// NewTailObserver returns an observer with a fresh registry and a
+// tail-based exemplar sampler instead of a keep-everything tracer.
+func NewTailObserver(cfg TailConfig) *Observer {
+	return &Observer{Reg: NewRegistry(), Tail: NewTailSampler(cfg)}
 }
 
 // Registry returns the observer's registry (nil observer → nil
@@ -166,4 +180,20 @@ func (o *Observer) Tracer() *Tracer {
 		return nil
 	}
 	return o.Spans
+}
+
+// TailSampler returns the observer's exemplar sampler (nil observer →
+// nil).
+func (o *Observer) TailSampler() *TailSampler {
+	if o == nil {
+		return nil
+	}
+	return o.Tail
+}
+
+// WantSpans reports whether span trees should be assembled at all:
+// true when either a keep-everything tracer or a tail sampler is
+// wired.
+func (o *Observer) WantSpans() bool {
+	return o != nil && (o.Spans != nil || o.Tail != nil)
 }

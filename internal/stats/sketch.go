@@ -1,0 +1,241 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Sketch is a DDSketch-style streaming quantile sketch with a relative
+// accuracy guarantee: Quantile(q) is within a factor (1 ± alpha) of the
+// exact q-quantile of everything Added, using O(log(max/min)/alpha)
+// space instead of storing samples. Values land in logarithmically
+// spaced buckets (index = ceil(log_gamma(x)) with gamma =
+// (1+alpha)/(1-alpha)); each bucket's representative value is its
+// log-space midpoint.
+//
+// Sketches over the same alpha merge losslessly, and because bucket
+// counts are integers the merged quantiles are independent of merge
+// order — the fleet-wide percentile of per-node sketches is exact with
+// respect to the same guarantee. (Sum is a float accumulation and is
+// only order-independent up to rounding.)
+//
+// The zero value is not usable; create sketches with NewSketch. All
+// inputs below minIndexable (1 ns when values are seconds) fold into a
+// dedicated zero bucket; negative inputs are treated as zero, which
+// suits the non-negative durations and sizes this repository measures.
+type Sketch struct {
+	alpha   float64
+	gamma   float64
+	lnGamma float64
+
+	counts map[int]uint64
+	zero   uint64 // values in [0, minIndexable)
+	count  uint64
+	sum    float64
+	min    float64
+	max    float64
+}
+
+// minIndexable is the smallest value assigned a logarithmic bucket;
+// anything smaller (sub-nanosecond, for second-denominated durations)
+// counts as zero. It bounds the bucket-index range.
+const minIndexable = 1e-9
+
+// DefaultSketchAlpha is the relative accuracy used by the observability
+// layer's sketches: quantiles within ±1%.
+const DefaultSketchAlpha = 0.01
+
+// NewSketch returns an empty sketch with the given relative accuracy
+// (0 < alpha < 1). Out-of-range alphas fall back to
+// DefaultSketchAlpha.
+func NewSketch(alpha float64) *Sketch {
+	if alpha <= 0 || alpha >= 1 {
+		alpha = DefaultSketchAlpha
+	}
+	gamma := (1 + alpha) / (1 - alpha)
+	return &Sketch{
+		alpha:   alpha,
+		gamma:   gamma,
+		lnGamma: math.Log(gamma),
+		counts:  make(map[int]uint64),
+		min:     math.Inf(1),
+		max:     math.Inf(-1),
+	}
+}
+
+// Alpha returns the sketch's configured relative accuracy.
+func (s *Sketch) Alpha() float64 { return s.alpha }
+
+// index maps a value > minIndexable to its bucket index.
+func (s *Sketch) index(v float64) int {
+	return int(math.Ceil(math.Log(v) / s.lnGamma))
+}
+
+// bucketValue is the representative value of bucket i: the log-space
+// midpoint 2·gamma^i/(gamma+1), within alpha of every value the bucket
+// covers.
+func (s *Sketch) bucketValue(i int) float64 {
+	return 2 * math.Pow(s.gamma, float64(i)) / (s.gamma + 1)
+}
+
+// Add folds one value into the sketch.
+func (s *Sketch) Add(v float64) { s.AddN(v, 1) }
+
+// AddN folds n occurrences of v into the sketch.
+func (s *Sketch) AddN(v float64, n uint64) {
+	if n == 0 || math.IsNaN(v) {
+		return
+	}
+	if v < 0 {
+		v = 0
+	}
+	s.count += n
+	s.sum += v * float64(n)
+	if v < s.min {
+		s.min = v
+	}
+	if v > s.max {
+		s.max = v
+	}
+	if v < minIndexable {
+		s.zero += n
+		return
+	}
+	s.counts[s.index(v)] += n
+}
+
+// Count returns the number of values added.
+func (s *Sketch) Count() uint64 { return s.count }
+
+// Sum returns the sum of all values added.
+func (s *Sketch) Sum() float64 { return s.sum }
+
+// Min returns the smallest value added (0 when empty).
+func (s *Sketch) Min() float64 {
+	if s.count == 0 {
+		return 0
+	}
+	return s.min
+}
+
+// Max returns the largest value added (0 when empty).
+func (s *Sketch) Max() float64 {
+	if s.count == 0 {
+		return 0
+	}
+	return s.max
+}
+
+// Quantile returns an estimate of the q-quantile (q clamped to [0, 1])
+// with relative error at most alpha; exact Min/Max anchor the ends. It
+// returns 0 for an empty sketch.
+func (s *Sketch) Quantile(q float64) float64 {
+	if s.count == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return s.min
+	}
+	if q >= 1 {
+		return s.max
+	}
+	rank := q * float64(s.count-1)
+	if rank < float64(s.zero) {
+		return 0
+	}
+	cum := float64(s.zero)
+	var last float64
+	for _, b := range s.Buckets() {
+		cum += float64(b.Count)
+		last = s.bucketValue(b.Index)
+		if rank < cum {
+			return s.clampToRange(last)
+		}
+	}
+	return s.clampToRange(last)
+}
+
+// clampToRange keeps bucket midpoints inside the observed [min, max],
+// so extreme quantiles never exceed actually seen values.
+func (s *Sketch) clampToRange(v float64) float64 {
+	if v < s.min {
+		return s.min
+	}
+	if v > s.max {
+		return s.max
+	}
+	return v
+}
+
+// Merge folds other into s. Both sketches must share the same alpha;
+// mismatched accuracies panic, since silently re-bucketing would void
+// the error guarantee. A nil or empty other is a no-op.
+func (s *Sketch) Merge(other *Sketch) {
+	if other == nil || other.count == 0 {
+		return
+	}
+	if other.alpha != s.alpha {
+		panic(fmt.Sprintf("stats: merging sketches with different accuracies (%v vs %v)",
+			s.alpha, other.alpha))
+	}
+	for i, c := range other.counts {
+		s.counts[i] += c
+	}
+	s.zero += other.zero
+	s.count += other.count
+	s.sum += other.sum
+	if other.min < s.min {
+		s.min = other.min
+	}
+	if other.max > s.max {
+		s.max = other.max
+	}
+}
+
+// Bucket is one exported (index, count) pair of a sketch.
+type Bucket struct {
+	Index int
+	Count uint64
+}
+
+// Buckets returns the non-empty logarithmic buckets sorted by index —
+// the deterministic export form used by the JSONL metrics dump. The
+// zero bucket is reported separately via ZeroCount.
+func (s *Sketch) Buckets() []Bucket {
+	idxs := make([]int, 0, len(s.counts))
+	for i := range s.counts {
+		idxs = append(idxs, i)
+	}
+	sort.Ints(idxs)
+	out := make([]Bucket, len(idxs))
+	for k, i := range idxs {
+		out[k] = Bucket{Index: i, Count: s.counts[i]}
+	}
+	return out
+}
+
+// ZeroCount returns the number of values that fell into the zero
+// bucket.
+func (s *Sketch) ZeroCount() uint64 { return s.zero }
+
+// RestoreSketch rebuilds a sketch from its exported state (the inverse
+// of Buckets/ZeroCount/Sum/Min/Max) so serialized sketches round-trip.
+func RestoreSketch(alpha float64, zero uint64, sum, min, max float64, buckets []Bucket) *Sketch {
+	s := NewSketch(alpha)
+	s.zero = zero
+	s.count = zero
+	s.sum = sum
+	for _, b := range buckets {
+		if b.Count == 0 {
+			continue
+		}
+		s.counts[b.Index] = b.Count
+		s.count += b.Count
+	}
+	if s.count > 0 {
+		s.min = min
+		s.max = max
+	}
+	return s
+}

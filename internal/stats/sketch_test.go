@@ -1,0 +1,156 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// relErr returns |got-want|/want, treating a zero want as absolute.
+func relErr(got, want float64) float64 {
+	if want == 0 {
+		return math.Abs(got)
+	}
+	return math.Abs(got-want) / math.Abs(want)
+}
+
+func TestSketchQuantileAccuracy(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, alpha := range []float64{0.005, 0.01, 0.05} {
+		sk := NewSketch(alpha)
+		xs := make([]float64, 0, 5000)
+		for i := 0; i < 5000; i++ {
+			// Lognormal-ish latencies spanning several decades, the
+			// shape the obs layer actually records.
+			v := math.Exp(rng.NormFloat64()*1.5 - 3)
+			sk.Add(v)
+			xs = append(xs, v)
+		}
+		for _, q := range []float64{0, 0.01, 0.25, 0.5, 0.9, 0.95, 0.99, 1} {
+			got := sk.Quantile(q)
+			want := Quantile(xs, q)
+			// Interpolated exact quantiles sit between order statistics;
+			// allow 2·alpha to cover interpolation plus bucket rounding.
+			if relErr(got, want) > 2*alpha {
+				t.Errorf("alpha=%v q=%v: sketch %v vs exact %v (relerr %.4f)",
+					alpha, q, got, want, relErr(got, want))
+			}
+		}
+	}
+}
+
+// TestSketchMergeOrderIndependent is the property test: merging a set
+// of per-shard sketches in any order yields identical quantiles and
+// counts, so fleet-wide aggregation is deterministic no matter how the
+// export walks the shards.
+func TestSketchMergeOrderIndependent(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	const shards = 7
+	parts := make([]*Sketch, shards)
+	for i := range parts {
+		parts[i] = NewSketch(0.01)
+		for k := 0; k < 200+i*37; k++ {
+			parts[i].Add(math.Exp(rng.NormFloat64()))
+		}
+	}
+	merge := func(order []int) *Sketch {
+		m := NewSketch(0.01)
+		for _, i := range order {
+			m.Merge(parts[i])
+		}
+		return m
+	}
+	base := merge([]int{0, 1, 2, 3, 4, 5, 6})
+	for trial := 0; trial < 20; trial++ {
+		order := rng.Perm(shards)
+		m := merge(order)
+		if m.Count() != base.Count() || m.ZeroCount() != base.ZeroCount() {
+			t.Fatalf("order %v: count %d/%d vs %d/%d",
+				order, m.Count(), m.ZeroCount(), base.Count(), base.ZeroCount())
+		}
+		for _, q := range []float64{0, 0.1, 0.5, 0.9, 0.99, 1} {
+			if got, want := m.Quantile(q), base.Quantile(q); got != want {
+				t.Fatalf("order %v: quantile(%v) = %v, want %v", order, q, got, want)
+			}
+		}
+		if relErr(m.Sum(), base.Sum()) > 1e-12 {
+			t.Fatalf("order %v: sum %v vs %v", order, m.Sum(), base.Sum())
+		}
+	}
+	// Merged quantiles must also stay within the accuracy bound of the
+	// pooled exact quantiles.
+	var all []float64
+	rng2 := rand.New(rand.NewSource(11))
+	for i := 0; i < shards; i++ {
+		for k := 0; k < 200+i*37; k++ {
+			all = append(all, math.Exp(rng2.NormFloat64()))
+		}
+	}
+	for _, q := range []float64{0.25, 0.5, 0.95, 0.99} {
+		if got, want := base.Quantile(q), Quantile(all, q); relErr(got, want) > 2*0.01 {
+			t.Errorf("merged quantile(%v) = %v, exact %v", q, got, want)
+		}
+	}
+}
+
+func TestSketchEdgeCases(t *testing.T) {
+	sk := NewSketch(0.01)
+	if sk.Quantile(0.5) != 0 || sk.Count() != 0 || sk.Min() != 0 || sk.Max() != 0 {
+		t.Fatal("empty sketch must read zero")
+	}
+	sk.Add(0)
+	sk.Add(-3) // clamps to the zero bucket
+	sk.Add(5e-10)
+	if sk.ZeroCount() != 3 || sk.Quantile(0.5) != 0 {
+		t.Fatalf("zero bucket count = %d, q50 = %v", sk.ZeroCount(), sk.Quantile(0.5))
+	}
+	sk.Add(math.NaN()) // ignored
+	if sk.Count() != 3 {
+		t.Fatalf("NaN must be ignored, count = %d", sk.Count())
+	}
+	sk.Add(2.5)
+	if got := sk.Quantile(1); got != 2.5 {
+		t.Fatalf("max quantile = %v, want exact max 2.5", got)
+	}
+	if got := sk.Quantile(0); got != 0 {
+		t.Fatalf("min quantile = %v, want 0", got)
+	}
+
+	one := NewSketch(0.01)
+	one.Add(42)
+	for _, q := range []float64{0, 0.5, 1} {
+		if relErr(one.Quantile(q), 42) > 0.01 {
+			t.Fatalf("single-value quantile(%v) = %v", q, one.Quantile(q))
+		}
+	}
+}
+
+func TestSketchMergeAlphaMismatchPanics(t *testing.T) {
+	a, b := NewSketch(0.01), NewSketch(0.02)
+	b.Add(1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("merging mismatched alphas must panic")
+		}
+	}()
+	a.Merge(b)
+}
+
+func TestSketchRestoreRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	sk := NewSketch(0.02)
+	for i := 0; i < 1000; i++ {
+		sk.Add(rng.Float64() * 100)
+	}
+	sk.Add(0)
+	got := RestoreSketch(sk.Alpha(), sk.ZeroCount(), sk.Sum(), sk.Min(), sk.Max(), sk.Buckets())
+	if got.Count() != sk.Count() || got.Sum() != sk.Sum() ||
+		got.Min() != sk.Min() || got.Max() != sk.Max() {
+		t.Fatalf("restore lost state: %+v vs %+v", got, sk)
+	}
+	for _, q := range []float64{0, 0.25, 0.5, 0.75, 0.95, 1} {
+		if got.Quantile(q) != sk.Quantile(q) {
+			t.Fatalf("restore quantile(%v) = %v, want %v", q, got.Quantile(q), sk.Quantile(q))
+		}
+	}
+}

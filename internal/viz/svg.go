@@ -1,0 +1,399 @@
+// Package viz renders small, self-contained SVG charts for the HTML
+// report: CDF step plots, scatter plots, box plots and span timelines.
+// Everything is deterministic — fixed-precision coordinates, sorted
+// iteration, a fixed palette — so same-seed reports are byte-identical.
+// The package has no dependencies beyond the standard library.
+package viz
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Series is one named sequence of (x, y) points.
+type Series struct {
+	Name string
+	X, Y []float64
+}
+
+// Options configure a chart frame.
+type Options struct {
+	Title  string
+	XLabel string
+	YLabel string
+	// Width and Height default to 640×360.
+	Width, Height int
+	// Step renders series as right-continuous step lines (CDFs).
+	Step bool
+	// Lines connects points in order instead of drawing markers.
+	Lines bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.Width <= 0 {
+		o.Width = 640
+	}
+	if o.Height <= 0 {
+		o.Height = 360
+	}
+	return o
+}
+
+// palette is the fixed series color cycle.
+var palette = []string{"#1f77b4", "#d62728", "#2ca02c", "#9467bd", "#ff7f0e", "#8c564b"}
+
+// margins of the plot area inside the SVG viewport.
+const (
+	marginL = 56
+	marginR = 16
+	marginT = 28
+	marginB = 44
+)
+
+// num renders a coordinate with fixed precision so output bytes are
+// reproducible across runs and platforms.
+func num(v float64) string {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return "0"
+	}
+	return fmt.Sprintf("%.2f", v)
+}
+
+// Esc escapes text for SVG/XML content and attributes.
+func Esc(s string) string {
+	return xmlEscaper.Replace(s)
+}
+
+var xmlEscaper = strings.NewReplacer(
+	"&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;", "'", "&#39;",
+)
+
+// frame maps data coordinates to pixel coordinates.
+type frame struct {
+	o                      Options
+	xmin, xmax, ymin, ymax float64
+}
+
+func (f frame) px(x float64) float64 {
+	w := float64(f.o.Width - marginL - marginR)
+	if f.xmax == f.xmin {
+		return marginL + w/2
+	}
+	return marginL + (x-f.xmin)/(f.xmax-f.xmin)*w
+}
+
+func (f frame) py(y float64) float64 {
+	h := float64(f.o.Height - marginT - marginB)
+	if f.ymax == f.ymin {
+		return marginT + h/2
+	}
+	return marginT + h - (y-f.ymin)/(f.ymax-f.ymin)*h
+}
+
+// niceStep picks a 1/2/5×10ⁿ tick step producing ~n ticks over span.
+func niceStep(span float64, n int) float64 {
+	if span <= 0 || n <= 0 {
+		return 1
+	}
+	raw := span / float64(n)
+	mag := math.Pow(10, math.Floor(math.Log10(raw)))
+	switch {
+	case raw/mag <= 1:
+		return mag
+	case raw/mag <= 2:
+		return 2 * mag
+	case raw/mag <= 5:
+		return 5 * mag
+	default:
+		return 10 * mag
+	}
+}
+
+// fmtTick renders an axis tick value compactly.
+func fmtTick(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e7 {
+		return fmt.Sprintf("%.0f", v)
+	}
+	return fmt.Sprintf("%.4g", v)
+}
+
+// header opens the SVG element and draws title and axis labels.
+func (f frame) header(b *strings.Builder) {
+	o := f.o
+	fmt.Fprintf(b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d" font-family="sans-serif" font-size="11">`,
+		o.Width, o.Height, o.Width, o.Height)
+	b.WriteString("\n")
+	fmt.Fprintf(b, `<rect x="0" y="0" width="%d" height="%d" fill="#ffffff"/>`, o.Width, o.Height)
+	b.WriteString("\n")
+	if o.Title != "" {
+		fmt.Fprintf(b, `<text x="%s" y="16" text-anchor="middle" font-size="13" fill="#222222">%s</text>`,
+			num(float64(o.Width)/2), Esc(o.Title))
+		b.WriteString("\n")
+	}
+	if o.XLabel != "" {
+		fmt.Fprintf(b, `<text x="%s" y="%d" text-anchor="middle" fill="#444444">%s</text>`,
+			num(float64(marginL)+float64(o.Width-marginL-marginR)/2), o.Height-8, Esc(o.XLabel))
+		b.WriteString("\n")
+	}
+	if o.YLabel != "" {
+		cy := float64(marginT) + float64(o.Height-marginT-marginB)/2
+		fmt.Fprintf(b, `<text x="14" y="%s" text-anchor="middle" fill="#444444" transform="rotate(-90 14 %s)">%s</text>`,
+			num(cy), num(cy), Esc(o.YLabel))
+		b.WriteString("\n")
+	}
+}
+
+// axes draws the plot box, grid lines and tick labels.
+func (f frame) axes(b *strings.Builder) {
+	o := f.o
+	fmt.Fprintf(b, `<rect x="%d" y="%d" width="%d" height="%d" fill="none" stroke="#888888"/>`,
+		marginL, marginT, o.Width-marginL-marginR, o.Height-marginT-marginB)
+	b.WriteString("\n")
+	xs := niceStep(f.xmax-f.xmin, 6)
+	for v := math.Ceil(f.xmin/xs) * xs; v <= f.xmax+xs/1e6; v += xs {
+		x := f.px(v)
+		fmt.Fprintf(b, `<line x1="%s" y1="%d" x2="%s" y2="%d" stroke="#dddddd"/>`,
+			num(x), marginT, num(x), o.Height-marginB)
+		fmt.Fprintf(b, `<text x="%s" y="%d" text-anchor="middle" fill="#444444">%s</text>`,
+			num(x), o.Height-marginB+14, fmtTick(v))
+		b.WriteString("\n")
+	}
+	ys := niceStep(f.ymax-f.ymin, 5)
+	for v := math.Ceil(f.ymin/ys) * ys; v <= f.ymax+ys/1e6; v += ys {
+		y := f.py(v)
+		fmt.Fprintf(b, `<line x1="%d" y1="%s" x2="%d" y2="%s" stroke="#dddddd"/>`,
+			marginL, num(y), o.Width-marginR, num(y))
+		fmt.Fprintf(b, `<text x="%d" y="%s" text-anchor="end" fill="#444444">%s</text>`,
+			marginL-4, num(y), fmtTick(v))
+		b.WriteString("\n")
+	}
+}
+
+// legend draws the series names in the top-right corner of the plot.
+func (f frame) legend(b *strings.Builder, names []string) {
+	x := float64(f.o.Width - marginR - 8)
+	y := float64(marginT + 14)
+	for i, name := range names {
+		if name == "" {
+			continue
+		}
+		c := palette[i%len(palette)]
+		fmt.Fprintf(b, `<rect x="%s" y="%s" width="10" height="10" fill="%s"/>`,
+			num(x-10), num(y-9), c)
+		fmt.Fprintf(b, `<text x="%s" y="%s" text-anchor="end" fill="#222222">%s</text>`,
+			num(x-14), num(y), Esc(name))
+		b.WriteString("\n")
+		y += 14
+	}
+}
+
+// bounds computes the data extent across all series, padded slightly.
+func bounds(series []Series) (xmin, xmax, ymin, ymax float64) {
+	first := true
+	for _, s := range series {
+		for i := range s.X {
+			if first {
+				xmin, xmax, ymin, ymax = s.X[i], s.X[i], s.Y[i], s.Y[i]
+				first = false
+				continue
+			}
+			xmin = math.Min(xmin, s.X[i])
+			xmax = math.Max(xmax, s.X[i])
+			ymin = math.Min(ymin, s.Y[i])
+			ymax = math.Max(ymax, s.Y[i])
+		}
+	}
+	if first {
+		return 0, 1, 0, 1
+	}
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+	if ymax == ymin {
+		ymax = ymin + 1
+	}
+	return xmin, xmax, ymin, ymax
+}
+
+// Plot renders a multi-series chart: markers by default, connected
+// lines with Options.Lines, right-continuous steps with Options.Step.
+func Plot(series []Series, o Options) string {
+	o = o.withDefaults()
+	var b strings.Builder
+	xmin, xmax, ymin, ymax := bounds(series)
+	f := frame{o: o, xmin: xmin, xmax: xmax, ymin: ymin, ymax: ymax}
+	f.header(&b)
+	f.axes(&b)
+	var names []string
+	for i, s := range series {
+		c := palette[i%len(palette)]
+		names = append(names, s.Name)
+		switch {
+		case o.Step, o.Lines:
+			if len(s.X) == 0 {
+				continue
+			}
+			var d strings.Builder
+			for j := range s.X {
+				x, y := f.px(s.X[j]), f.py(s.Y[j])
+				if j == 0 {
+					fmt.Fprintf(&d, "M%s %s", num(x), num(y))
+					continue
+				}
+				if o.Step {
+					fmt.Fprintf(&d, " H%s V%s", num(x), num(y))
+				} else {
+					fmt.Fprintf(&d, " L%s %s", num(x), num(y))
+				}
+			}
+			fmt.Fprintf(&b, `<path d="%s" fill="none" stroke="%s" stroke-width="1.5"/>`, d.String(), c)
+			b.WriteString("\n")
+		default:
+			for j := range s.X {
+				fmt.Fprintf(&b, `<circle cx="%s" cy="%s" r="2.5" fill="%s" fill-opacity="0.7"/>`,
+					num(f.px(s.X[j])), num(f.py(s.Y[j])), c)
+			}
+			b.WriteString("\n")
+		}
+	}
+	if len(series) > 1 {
+		f.legend(&b, names)
+	}
+	b.WriteString("</svg>\n")
+	return b.String()
+}
+
+// Box is the five-number summary of one labeled distribution.
+type Box struct {
+	Label                    string
+	Min, Q1, Median, Q3, Max float64
+}
+
+// BoxPlot renders labeled box-and-whisker columns (the Figure-8 view).
+func BoxPlot(boxes []Box, o Options) string {
+	o = o.withDefaults()
+	var b strings.Builder
+	ymin, ymax := math.Inf(1), math.Inf(-1)
+	for _, bx := range boxes {
+		ymin = math.Min(ymin, bx.Min)
+		ymax = math.Max(ymax, bx.Max)
+	}
+	if len(boxes) == 0 || ymin > ymax {
+		ymin, ymax = 0, 1
+	}
+	if ymax == ymin {
+		ymax = ymin + 1
+	}
+	f := frame{o: o, xmin: 0, xmax: float64(len(boxes)), ymin: ymin, ymax: ymax}
+	f.header(&b)
+	// Y grid only; the X axis carries one label per box.
+	fmt.Fprintf(&b, `<rect x="%d" y="%d" width="%d" height="%d" fill="none" stroke="#888888"/>`,
+		marginL, marginT, o.Width-marginL-marginR, o.Height-marginT-marginB)
+	b.WriteString("\n")
+	ys := niceStep(ymax-ymin, 5)
+	for v := math.Ceil(ymin/ys) * ys; v <= ymax+ys/1e6; v += ys {
+		y := f.py(v)
+		fmt.Fprintf(&b, `<line x1="%d" y1="%s" x2="%d" y2="%s" stroke="#dddddd"/>`,
+			marginL, num(y), o.Width-marginR, num(y))
+		fmt.Fprintf(&b, `<text x="%d" y="%s" text-anchor="end" fill="#444444">%s</text>`,
+			marginL-4, num(y), fmtTick(v))
+		b.WriteString("\n")
+	}
+	slot := (f.px(1) - f.px(0))
+	half := math.Min(slot*0.3, 18)
+	for i, bx := range boxes {
+		cx := f.px(float64(i) + 0.5)
+		c := palette[0]
+		// whiskers
+		fmt.Fprintf(&b, `<line x1="%s" y1="%s" x2="%s" y2="%s" stroke="%s"/>`,
+			num(cx), num(f.py(bx.Min)), num(cx), num(f.py(bx.Q1)), c)
+		fmt.Fprintf(&b, `<line x1="%s" y1="%s" x2="%s" y2="%s" stroke="%s"/>`,
+			num(cx), num(f.py(bx.Q3)), num(cx), num(f.py(bx.Max)), c)
+		// box
+		fmt.Fprintf(&b, `<rect x="%s" y="%s" width="%s" height="%s" fill="%s" fill-opacity="0.25" stroke="%s"/>`,
+			num(cx-half), num(f.py(bx.Q3)), num(2*half), num(f.py(bx.Q1)-f.py(bx.Q3)), c, c)
+		// median
+		fmt.Fprintf(&b, `<line x1="%s" y1="%s" x2="%s" y2="%s" stroke="#d62728" stroke-width="1.5"/>`,
+			num(cx-half), num(f.py(bx.Median)), num(cx+half), num(f.py(bx.Median)))
+		b.WriteString("\n")
+		if bx.Label != "" {
+			fmt.Fprintf(&b, `<text x="%s" y="%d" text-anchor="end" fill="#444444" font-size="9" transform="rotate(-45 %s %d)">%s</text>`,
+				num(cx), o.Height-marginB+12, num(cx), o.Height-marginB+12, Esc(bx.Label))
+			b.WriteString("\n")
+		}
+	}
+	b.WriteString("</svg>\n")
+	return b.String()
+}
+
+// Interval is one bar of a timeline chart: a named phase on a track.
+type Interval struct {
+	// Track names the row group (e.g. "client", "frontend").
+	Track string
+	// Name labels the bar.
+	Name string
+	// Start and End are in the timeline's unit (milliseconds here).
+	Start, End float64
+	// Depth indents nested phases within their track.
+	Depth int
+}
+
+// Timeline renders one query's phases as horizontal bars, one row per
+// interval, grouped by track in input order (the exemplar view).
+func Timeline(iv []Interval, o Options) string {
+	o = o.withDefaults()
+	rows := len(iv)
+	if rows == 0 {
+		rows = 1
+	}
+	rowH := 18
+	o.Height = marginT + marginB + rows*rowH
+	xmin, xmax := math.Inf(1), math.Inf(-1)
+	for _, v := range iv {
+		xmin = math.Min(xmin, v.Start)
+		xmax = math.Max(xmax, v.End)
+	}
+	if len(iv) == 0 || xmin > xmax {
+		xmin, xmax = 0, 1
+	}
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+	f := frame{o: o, xmin: xmin, xmax: xmax, ymin: 0, ymax: float64(rows)}
+	var b strings.Builder
+	f.header(&b)
+	xs := niceStep(xmax-xmin, 6)
+	for v := math.Ceil(xmin/xs) * xs; v <= xmax+xs/1e6; v += xs {
+		x := f.px(v)
+		fmt.Fprintf(&b, `<line x1="%s" y1="%d" x2="%s" y2="%d" stroke="#dddddd"/>`,
+			num(x), marginT, num(x), o.Height-marginB)
+		fmt.Fprintf(&b, `<text x="%s" y="%d" text-anchor="middle" fill="#444444">%s</text>`,
+			num(x), o.Height-marginB+14, fmtTick(v))
+		b.WriteString("\n")
+	}
+	trackColor := map[string]string{}
+	for i, v := range iv {
+		c, ok := trackColor[v.Track]
+		if !ok {
+			c = palette[len(trackColor)%len(palette)]
+			trackColor[v.Track] = c
+		}
+		y := float64(marginT + i*rowH)
+		x0, x1 := f.px(v.Start), f.px(v.End)
+		if x1 < x0+1 {
+			x1 = x0 + 1
+		}
+		fmt.Fprintf(&b, `<rect x="%s" y="%s" width="%s" height="%d" fill="%s" fill-opacity="0.6"/>`,
+			num(x0), num(y+3), num(x1-x0), rowH-6, c)
+		label := v.Name
+		if v.Track != "" {
+			label = v.Track + ": " + v.Name
+		}
+		fmt.Fprintf(&b, `<text x="%s" y="%s" fill="#222222" font-size="10">%s</text>`,
+			num(math.Max(x0+3, float64(marginL)+2+float64(v.Depth)*8)), num(y+float64(rowH-6)), Esc(label))
+		b.WriteString("\n")
+	}
+	b.WriteString("</svg>\n")
+	return b.String()
+}

@@ -1,0 +1,99 @@
+package viz
+
+import (
+	"encoding/xml"
+	"strings"
+	"testing"
+)
+
+// wellFormed parses the SVG with the XML decoder, failing on any
+// malformed markup (unescaped text, unclosed tags).
+func wellFormed(t *testing.T, svg string) {
+	t.Helper()
+	dec := xml.NewDecoder(strings.NewReader(svg))
+	for {
+		_, err := dec.Token()
+		if err != nil {
+			if err.Error() == "EOF" {
+				return
+			}
+			t.Fatalf("malformed SVG: %v\n%s", err, svg)
+		}
+	}
+}
+
+func sampleSeries() []Series {
+	return []Series{
+		{Name: `goo<gle&"like"`, X: []float64{1, 2, 3, 4}, Y: []float64{10, 20, 15, 40}},
+		{Name: "bing-like", X: []float64{1, 2, 3}, Y: []float64{5, 25, 35}},
+	}
+}
+
+func TestPlotWellFormedAndDeterministic(t *testing.T) {
+	for _, o := range []Options{
+		{Title: "scatter <&>", XLabel: "x", YLabel: "y"},
+		{Title: "steps", Step: true},
+		{Title: "lines", Lines: true},
+	} {
+		a := Plot(sampleSeries(), o)
+		b := Plot(sampleSeries(), o)
+		if a != b {
+			t.Fatalf("%s: Plot not deterministic", o.Title)
+		}
+		wellFormed(t, a)
+		if !strings.Contains(a, "<svg") || !strings.Contains(a, "</svg>") {
+			t.Fatalf("%s: no svg element", o.Title)
+		}
+	}
+	// Empty input must still render a valid frame.
+	wellFormed(t, Plot(nil, Options{Title: "empty"}))
+}
+
+func TestBoxPlotWellFormed(t *testing.T) {
+	boxes := []Box{
+		{Label: "node<1>", Min: 1, Q1: 2, Median: 3, Q3: 5, Max: 9},
+		{Label: "node-2", Min: 2, Q1: 3, Median: 4, Q3: 6, Max: 7},
+	}
+	s := BoxPlot(boxes, Options{Title: "overall", YLabel: "ms"})
+	wellFormed(t, s)
+	if s != BoxPlot(boxes, Options{Title: "overall", YLabel: "ms"}) {
+		t.Fatal("BoxPlot not deterministic")
+	}
+	wellFormed(t, BoxPlot(nil, Options{}))
+}
+
+func TestTimelineWellFormed(t *testing.T) {
+	iv := []Interval{
+		{Track: "client", Name: "query", Start: 0, End: 120},
+		{Track: "client", Name: "handshake", Start: 0, End: 30, Depth: 1},
+		{Track: "frontend", Name: `fe-fetch "x"`, Start: 35, End: 100, Depth: 1},
+	}
+	s := Timeline(iv, Options{Title: "exemplar"})
+	wellFormed(t, s)
+	if s != Timeline(iv, Options{Title: "exemplar"}) {
+		t.Fatal("Timeline not deterministic")
+	}
+	for _, want := range []string{"client: query", "frontend: fe-fetch &quot;x&quot;"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("timeline missing %q", want)
+		}
+	}
+	wellFormed(t, Timeline(nil, Options{}))
+}
+
+func TestNiceStep(t *testing.T) {
+	for _, tc := range []struct {
+		span float64
+		n    int
+		want float64
+	}{
+		{100, 5, 20},
+		{1, 5, 0.2},
+		{7, 5, 2},
+		{0, 5, 1},
+	} {
+		if got := niceStep(tc.span, tc.n); got != tc.want {
+			t.Errorf("niceStep(%v, %d) = %v, want %v", tc.span, tc.n, got, tc.want)
+		}
+	}
+}
