@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet bench bench-json bench-compare check report report-full examples clean
+.PHONY: all build test vet bench bench-json bench-compare check report report-full examples clean fuzz-smoke equivalence
 
 all: build vet test
 
@@ -15,6 +15,7 @@ check:
 	$(GO) vet ./...
 	$(GO) build ./...
 	$(GO) test -race ./...
+	$(MAKE) fuzz-smoke
 	$(MAKE) bench-compare
 
 # Warn-only perf gate: short-benchtime run diffed against the latest
@@ -25,7 +26,27 @@ bench-compare:
 	$(GO) run ./cmd/benchjson -benchtime 100ms -o bench-check.json \
 		-compare $(BENCH_BASELINE) -warn-only
 
-BENCH_BASELINE ?= BENCH_2.json
+BENCH_BASELINE ?= BENCH_3.json
+
+# Short fuzz pass over the observability codecs: label escaping and the
+# metrics JSONL round trip. Go runs one fuzz target per invocation, so
+# two runs. ~10s each — a smoke pass for CI, not a campaign.
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz FuzzPrometheusLabelEscape -fuzztime 10s ./internal/obs
+	$(GO) test -run '^$$' -fuzz FuzzMetricsJSONLRoundTrip -fuzztime 10s ./internal/obs
+
+# Serial/parallel equivalence, end to end through the CLI: the full
+# observed study exported twice — one worker, then four — must be
+# byte-identical across every artifact (CSVs, JSONL, Prometheus text,
+# HTML, spans). This is the parallel runner's contract; see
+# docs/PARALLEL.md.
+equivalence: build
+	rm -rf equiv-w1 equiv-w4
+	./bin/fesplit study -seed 7 -workers 1 -dir equiv-w1
+	./bin/fesplit study -seed 7 -workers 4 -dir equiv-w4
+	diff -r equiv-w1 equiv-w4
+	rm -rf equiv-w1 equiv-w4
+	@echo "serial and parallel study outputs are byte-identical"
 
 build:
 	$(GO) build ./...
@@ -47,10 +68,10 @@ bench:
 	$(GO) test -bench=. -benchmem ./...
 
 # Perf-trajectory snapshot: root study benchmarks plus the simnet and
-# tcpsim micro-benchmarks, recorded as BENCH_1.json (name → ns/op,
+# tcpsim micro-benchmarks, recorded as BENCH_3.json (name → ns/op,
 # B/op, allocs/op). Later PRs diff new snapshots against this file.
 bench-json:
-	$(GO) run ./cmd/benchjson -o BENCH_1.json
+	$(GO) run ./cmd/benchjson -o BENCH_3.json
 
 # Light-scale figure regeneration (seconds).
 report: build

@@ -537,6 +537,29 @@ func BenchmarkAblationKeepAlive(b *testing.B) {
 	}
 }
 
+// BenchmarkStudyRunAllWorkers1 and ...Workers4 time the full study
+// matrix serial vs parallel. Their ns/op ratio is the parallel runner's
+// speedup on this machine (≈1× on a single-core box: the decomposition
+// guarantees identical output, the hardware decides the wall clock).
+func BenchmarkStudyRunAllWorkers1(b *testing.B) { benchRunAll(b, 1) }
+
+// BenchmarkStudyRunAllWorkers4 is the 4-worker leg of the scaling pair.
+func BenchmarkStudyRunAllWorkers4(b *testing.B) { benchRunAll(b, 4) }
+
+func benchRunAll(b *testing.B, workers int) {
+	for i := 0; i < b.N; i++ {
+		cfg := LightStudyConfig(benchSeed)
+		cfg.Workers = workers
+		rep, err := NewStudy(cfg).RunAll()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rep.Fig9 == nil || rep.Wireless == nil {
+			b.Fatal("incomplete report")
+		}
+	}
+}
+
 // BenchmarkExtModelValidation quantifies the analytic model's fit to
 // the packet-level simulation.
 func BenchmarkExtModelValidation(b *testing.B) {

@@ -4,6 +4,7 @@
 // Usage:
 //
 //	fesplit report       [-seed N] [-scale light|full] [-fig all|3..9|caching] [-csv DIR] [-html FILE]
+//	fesplit study        [-seed N] [-scale light|full] [-workers N] [-node-batches K] [-dir DIR]
 //	fesplit sweep        [-seed N] [-miles M] [-loss P] [-repeats K]
 //	fesplit direct       [-seed N] [-service google|bing] [-nodes N]
 //	fesplit trace        [-seed N] [-rtt MS] [-o FILE]
@@ -37,6 +38,8 @@ func main() {
 	switch os.Args[1] {
 	case "report":
 		err = cmdReport(os.Args[2:])
+	case "study":
+		err = cmdStudy(os.Args[2:])
 	case "sweep":
 		err = cmdSweep(os.Args[2:])
 	case "direct":
@@ -71,6 +74,9 @@ End-to-End Performance of Dynamic Content Distribution" (IMC 2011)
 commands:
   report       regenerate the paper's figures (text tables, optional CSV
                and self-contained HTML with inline SVG via -html)
+  study        run the full observed study on a worker pool and export
+               figures, metrics, spans and reports into one directory;
+               outputs are byte-identical for any -workers value
   sweep        FE-placement ablation: the placement / fetch-time trade-off
   direct       no-FE baseline: clients straight to the data center
   trace        capture one query session and print its packet timeline

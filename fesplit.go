@@ -158,6 +158,22 @@ func SampleTails(ts *TailSampler, ds *Dataset, boundary int, tol time.Duration) 
 // separate measurement noise from genuine model violations.
 var DefaultBoundTolerance = 2 * vantage.CampusProfile().Jitter
 
+// MergeMetrics merges src into dst the way the parallel study runner
+// joins per-shard registries: counters, histograms and sketches add
+// (order-independently), gauges take the element-wise max of value and
+// watermark. Schema mismatches between same-named families are errors.
+// Merge shards in canonical order to keep exports byte-deterministic —
+// see docs/PARALLEL.md.
+func MergeMetrics(dst, src *MetricsRegistry) error { return dst.Merge(src) }
+
+// MergeTailSamplers joins per-shard tail samplers into one whose
+// selection threshold reflects the merged (fleet-wide) value
+// distribution; exemplars are re-ranked across the union. Pass shards
+// in canonical order.
+func MergeTailSamplers(shards ...*TailSampler) *TailSampler {
+	return obs.MergeTailSamplers(shards...)
+}
+
 // WriteMetricsJSONL dumps a registry as one JSON object per series —
 // lossless (unlike the Prometheus text view, sketches keep their
 // buckets) and byte-deterministic.

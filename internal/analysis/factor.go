@@ -88,6 +88,9 @@ func Fig9Points(params []Params, feMiles map[simnet.HostID]float64, rttCap time.
 		}
 		out = append(out, DistancePoint{FE: fe, Miles: miles, TdynamicMS: stats.Median(ys)})
 	}
+	// Canonical order: map iteration above is randomized, and point order
+	// feeds both the rendered scatter and the bootstrap resampler.
+	sort.Slice(out, func(i, j int) bool { return out[i].FE < out[j].FE })
 	return out
 }
 

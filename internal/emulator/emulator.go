@@ -455,6 +455,14 @@ func (o AOptions) withDefaults() AOptions {
 // RunExperimentA runs the default-FE experiment: every node sends the
 // shared query sequence to its DNS-default FE every Interval.
 func (r *Runner) RunExperimentA(opts AOptions) *Dataset {
+	return r.runExperimentARange(opts, 0, len(r.Fleet.Nodes))
+}
+
+// runExperimentARange runs Experiment A for the node index range
+// [lo, hi) only — the per-batch body of RunShardedA. Query corpus and
+// per-node stagger derive from global node indices, so a batch's nodes
+// behave exactly as they would in the full campaign.
+func (r *Runner) runExperimentARange(opts AOptions, lo, hi int) *Dataset {
 	opts = opts.withDefaults()
 	queries := opts.Queries
 	if len(queries) == 0 {
@@ -462,8 +470,8 @@ func (r *Runner) RunExperimentA(opts AOptions) *Dataset {
 		queries = gen.Corpus(opts.QueriesPerNode, workload.ClassGranular)
 	}
 	ds := r.newDataset("A")
-	for i, node := range r.Fleet.Nodes {
-		node := node
+	for i := lo; i < hi; i++ {
+		node := r.Fleet.Nodes[i]
 		defaultFE := r.Dep.DefaultFE(node.Point)
 		// Stagger node start times so the fleet doesn't fire in
 		// lockstep (PlanetLab nodes were never synchronized).

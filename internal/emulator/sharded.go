@@ -1,0 +1,153 @@
+package emulator
+
+import (
+	"fmt"
+	"time"
+
+	"fesplit/internal/capture"
+	"fesplit/internal/cdn"
+	"fesplit/internal/obs"
+	"fesplit/internal/shard"
+	"fesplit/internal/simnet"
+)
+
+// DefaultNodeBatches is the number of node batches a sharded
+// Experiment-A campaign splits the fleet into when the caller does not
+// choose. Four keeps per-batch worlds large enough that FE load still
+// comes from dozens of concurrent vantages at paper scale, while giving
+// a typical multi-core machine real parallelism to chew on.
+const DefaultNodeBatches = 4
+
+// ShardedAOptions parameterize RunShardedA.
+//
+// The shard layout — how many batches, which nodes land in which batch,
+// and every seed — is a pure function of these options. The one knob
+// that is NOT part of the layout is Workers: it only schedules the
+// batches, so any worker count produces byte-identical output.
+type ShardedAOptions struct {
+	// SimSeed is the base simulator seed; batch b runs on
+	// shard.Mix(SimSeed, b), so batch event streams are independent yet
+	// reproducible.
+	SimSeed int64
+	// Deployment is the service under test, shared verbatim by every
+	// batch: all batches see the same FE/BE placement, so a node's
+	// default FE is the same in its batch world as in a monolithic run.
+	Deployment cdn.Config
+	// Runner configures each batch's world. Nodes is the FULL fleet
+	// size — every batch builds the whole fleet (placement must match
+	// across batches) and drives only its own node range.
+	Runner Options
+	// A parameterizes the campaign each batch runs over its node range.
+	A AOptions
+	// Batches is the number of contiguous node batches (≤ 0 →
+	// DefaultNodeBatches, clamped to the fleet size). Changing it
+	// changes the (still deterministic) results: batches are
+	// independent worlds, so cross-batch FE load interactions differ.
+	Batches int
+	// Workers caps the goroutines running batches (0 → NumCPU).
+	Workers int
+	// Observe, when non-nil, is called once per batch — from that
+	// batch's worker goroutine, before its world is built — and must
+	// return a fresh Observer private to the batch (a shared registry
+	// would race). RunShardedA returns the observers in batch order for
+	// the caller to merge canonically.
+	Observe func(b shard.Batch) *obs.Observer
+}
+
+// RunShardedA runs Experiment A split into contiguous node batches,
+// each in its own simulated world on its own worker goroutine, and
+// merges the per-batch datasets in batch order. It is the fleet-scale
+// form of Runner.RunExperimentA: same campaign shape, wall-clock
+// divided by the worker count instead of growing linearly with fleet
+// size.
+//
+// The returned observer slice is nil unless Observe was set; otherwise
+// it holds one observer per batch, in batch order.
+func RunShardedA(opts ShardedAOptions) (*Dataset, []*obs.Observer, error) {
+	n := opts.Runner.withDefaults().Nodes
+	k := opts.Batches
+	if k <= 0 {
+		k = DefaultNodeBatches
+	}
+	batches := shard.NodeBatches(n, k)
+	if len(batches) == 0 {
+		return nil, nil, fmt.Errorf("emulator: sharded A with no nodes")
+	}
+	dss := make([]*Dataset, len(batches))
+	obsvs := make([]*obs.Observer, len(batches))
+	tasks := make([]shard.Task, len(batches))
+	for i, b := range batches {
+		i, b := i, b
+		tasks[i] = shard.Task{
+			Name: fmt.Sprintf("nodes[%d:%d]", b.Lo, b.Hi),
+			Run: func() error {
+				ropts := opts.Runner
+				if opts.Observe != nil {
+					obsvs[i] = opts.Observe(b)
+					ropts.Obs = obsvs[i]
+				}
+				r, err := New(shard.Mix(opts.SimSeed, uint64(b.Index)), opts.Deployment, ropts)
+				if err != nil {
+					return err
+				}
+				ds := r.runExperimentARange(opts.A, b.Lo, b.Hi)
+				// Every batch world builds the full fleet, so its trace
+				// map holds an empty trace per foreign node; keep only
+				// this batch's nodes or the merge would mask another
+				// batch's real capture with an empty one.
+				keep := make(map[simnet.HostID]bool, b.Len())
+				for j := b.Lo; j < b.Hi; j++ {
+					keep[r.Fleet.Nodes[j].Host] = true
+				}
+				for host := range ds.Traces {
+					if !keep[host] {
+						delete(ds.Traces, host)
+					}
+				}
+				dss[i] = ds
+				return nil
+			},
+		}
+	}
+	if err := shard.Run(opts.Workers, tasks); err != nil {
+		return nil, nil, err
+	}
+	if opts.Observe == nil {
+		obsvs = nil
+	}
+	return MergeDatasets(dss...), obsvs, nil
+}
+
+// MergeDatasets joins per-shard datasets in argument order — the
+// canonical shard order. Records concatenate (so record order is batch
+// order, then per-batch simulation order), per-node traces union (first
+// writer wins; shards own disjoint node sets by construction), and
+// per-FE ground-truth fetch series concatenate in shard order. Nil
+// datasets are skipped; Service/Experiment come from the first non-nil
+// shard. Merging no datasets yields nil.
+func MergeDatasets(shards ...*Dataset) *Dataset {
+	var out *Dataset
+	for _, ds := range shards {
+		if ds == nil {
+			continue
+		}
+		if out == nil {
+			out = &Dataset{
+				Service:      ds.Service,
+				Experiment:   ds.Experiment,
+				Traces:       make(map[simnet.HostID]*capture.Trace),
+				FEFetchTimes: make(map[simnet.HostID][]time.Duration),
+			}
+		}
+		out.Records = append(out.Records, ds.Records...)
+		for host, tr := range ds.Traces {
+			if _, ok := out.Traces[host]; !ok {
+				out.Traces[host] = tr
+			}
+		}
+		for host, fts := range ds.FEFetchTimes {
+			out.FEFetchTimes[host] = append(out.FEFetchTimes[host], fts...)
+		}
+	}
+	return out
+}

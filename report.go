@@ -30,50 +30,6 @@ type Report struct {
 	ModelCheck  *ModelValidationData
 }
 
-// RunAll executes every experiment of the study and returns the full
-// report.
-func (s *Study) RunAll() (*Report, error) {
-	r := &Report{Config: s.cfg}
-	var err error
-	if r.Fig3, err = s.Fig3(); err != nil {
-		return nil, fmt.Errorf("fig3: %w", err)
-	}
-	if r.Fig4, err = s.Fig4(); err != nil {
-		return nil, fmt.Errorf("fig4: %w", err)
-	}
-	if r.Fig5, err = s.Fig5(); err != nil {
-		return nil, fmt.Errorf("fig5: %w", err)
-	}
-	if r.Fig6, err = s.Fig6(); err != nil {
-		return nil, fmt.Errorf("fig6: %w", err)
-	}
-	if r.Fig7, err = s.Fig7(); err != nil {
-		return nil, fmt.Errorf("fig7: %w", err)
-	}
-	if r.Fig8, err = s.Fig8(); err != nil {
-		return nil, fmt.Errorf("fig8: %w", err)
-	}
-	if r.Fig9, err = s.Fig9(); err != nil {
-		return nil, fmt.Errorf("fig9: %w", err)
-	}
-	if r.Caching, err = s.Caching(); err != nil {
-		return nil, fmt.Errorf("caching: %w", err)
-	}
-	if r.TermEffect, err = s.TermEffect(); err != nil {
-		return nil, fmt.Errorf("term effect: %w", err)
-	}
-	if r.Interactive, err = s.Interactive("cloud computing performance"); err != nil {
-		return nil, fmt.Errorf("interactive: %w", err)
-	}
-	if r.Wireless, err = s.Wireless(); err != nil {
-		return nil, fmt.Errorf("wireless: %w", err)
-	}
-	if r.ModelCheck, err = s.ModelValidation(); err != nil {
-		return nil, fmt.Errorf("model validation: %w", err)
-	}
-	return r, nil
-}
-
 // WriteReport runs the whole study and renders it as text.
 func (s *Study) WriteReport(w io.Writer) error {
 	rep, err := s.RunAll()

@@ -12,6 +12,8 @@ import (
 	"fesplit/internal/frontend"
 	"fesplit/internal/geo"
 	"fesplit/internal/httpsim"
+	"fesplit/internal/obs"
+	"fesplit/internal/shard"
 	"fesplit/internal/simnet"
 	"fesplit/internal/stats"
 	"fesplit/internal/tcpsim"
@@ -50,6 +52,17 @@ type StudyConfig struct {
 	Fig9MileCap float64
 	// CachingRepeats per node for the Section-3 probe.
 	CachingRepeats int
+	// Workers caps the goroutines running study cells and node batches
+	// (0 → runtime.NumCPU, negative → error). Workers schedules work,
+	// nothing else: every figure, metrics dump and report is
+	// byte-identical for Workers=1 and Workers=N. See docs/PARALLEL.md.
+	Workers int
+	// NodeBatches splits the default-FE campaign (Figures 6–8) into
+	// this many independent node-batch worlds (0 →
+	// emulator.DefaultNodeBatches). Unlike Workers it IS part of the
+	// shard layout: changing it changes the (still deterministic)
+	// figure data, because batches are isolated simulations.
+	NodeBatches int
 }
 
 // DefaultStudyConfig is the full paper-scale configuration. A complete
@@ -93,6 +106,11 @@ type Study struct {
 	cfg        StudyConfig
 	expA       map[string]*expAResult
 	boundaries map[string]int
+	// obsv, when non-nil, collects this study's metrics and tail
+	// exemplars. Set only on the per-cell sub-studies RunAllObserved
+	// spawns — a Study is not goroutine-safe, so observation is wired
+	// per cell and merged in canonical order afterwards.
+	obsv *obs.Observer
 }
 
 // NewStudy creates a study with the given configuration.
@@ -144,7 +162,6 @@ func (s *Study) serviceConfigs() []DeploymentConfig {
 }
 
 type expAResult struct {
-	runner   *Runner
 	ds       *Dataset
 	boundary int
 	params   []Params
@@ -152,28 +169,52 @@ type expAResult struct {
 }
 
 // experimentA runs (or returns the cached) default-FE experiment for a
-// service.
+// service: the fleet split into node batches (each an independent
+// simulated world, see emulator.RunShardedA), merged in batch order.
+// When the study is observed, each batch records into its own observer
+// and the registries merge here — also in batch order — then the
+// session parameters and tail exemplars are fed from the merged
+// dataset, so the observed view is identical for any worker count.
 func (s *Study) experimentA(cfg DeploymentConfig) (*expAResult, error) {
 	if r, ok := s.expA[cfg.Name]; ok {
 		return r, nil
 	}
-	runner, err := emulator.New(s.cfg.Seed+11, cfg,
-		emulator.Options{Nodes: s.cfg.Nodes, FleetSeed: s.cfg.Seed + 12})
+	sopts := emulator.ShardedAOptions{
+		SimSeed:    s.cfg.Seed + 11,
+		Deployment: cfg,
+		Runner:     emulator.Options{Nodes: s.cfg.Nodes, FleetSeed: s.cfg.Seed + 12},
+		A: emulator.AOptions{
+			QueriesPerNode: s.cfg.QueriesPerNodeA,
+			Interval:       s.cfg.IntervalA,
+			QuerySeed:      s.cfg.Seed + 13,
+		},
+		Batches: s.cfg.NodeBatches,
+		Workers: s.cfg.Workers,
+	}
+	if s.obsv != nil {
+		sopts.Observe = func(shard.Batch) *obs.Observer {
+			return obs.NewTailObserver(s.obsv.Tail.Config())
+		}
+	}
+	ds, batchObs, err := emulator.RunShardedA(sopts)
 	if err != nil {
 		return nil, err
 	}
-	ds := runner.RunExperimentA(emulator.AOptions{
-		QueriesPerNode: s.cfg.QueriesPerNodeA,
-		Interval:       s.cfg.IntervalA,
-		QuerySeed:      s.cfg.Seed + 13,
-	})
 	boundary, err := s.boundaryFor(cfg)
 	if err != nil {
 		return nil, err
 	}
 	params := analysis.ExtractDataset(ds, boundary)
+	if s.obsv != nil {
+		for _, o := range batchObs {
+			if err := s.obsv.Reg.Merge(o.Registry()); err != nil {
+				return nil, err
+			}
+		}
+		analysis.ObserveParams(s.obsv.Registry(), cfg.Name, params)
+		analysis.SampleTails(s.obsv.TailSampler(), ds, boundary, DefaultBoundTolerance)
+	}
 	res := &expAResult{
-		runner:   runner,
 		ds:       ds,
 		boundary: boundary,
 		params:   params,
@@ -372,45 +413,57 @@ type Fig5Data struct {
 func (s *Study) Fig5() ([]*Fig5Data, error) {
 	var out []*Fig5Data
 	for _, cfg := range s.serviceConfigs() {
-		boundary, err := s.boundaryFor(cfg)
+		d, err := s.fig5For(cfg)
 		if err != nil {
 			return nil, err
 		}
-		// The fixed-FE campaign is the study's largest (250 × 720
-		// sessions at paper scale): snap payloads at capture time so
-		// it fits in memory. The boundary probe above already ran
-		// with full payloads.
-		runner, err := emulator.New(s.cfg.Seed+41, cfg, emulator.Options{
-			Nodes: s.cfg.Nodes, FleetSeed: s.cfg.Seed + 42, SnapPayloads: true,
-		})
-		if err != nil {
-			return nil, err
-		}
-		fe := runner.Dep.FEByHost(simnet.HostID(cfg.Name + "-fe-metro-chicago"))
-		if fe == nil {
-			fe = runner.Dep.FEs[0]
-		}
-		ds, err := runner.RunExperimentB(emulator.BOptions{
-			FE: fe, Repeats: s.cfg.RepeatsB, Interval: s.cfg.IntervalB,
-			QuerySeed: s.cfg.Seed + 43,
-		})
-		if err != nil {
-			return nil, err
-		}
-		params := analysis.ExtractDataset(ds, boundary)
-		nodes := analysis.PerNode(params)
-		thr, hasThr := analysis.DeltaThreshold(nodes, 2*time.Millisecond)
-		lo, truth, hi, ok := analysis.ValidateBounds(params, ds.FEFetchTimes[fe.Host()])
-		out = append(out, &Fig5Data{
-			Service:     cfg.Name,
-			FixedFE:     string(fe.Host()),
-			Nodes:       nodes,
-			ThresholdMS: float64(thr) / float64(time.Millisecond),
-			HasThresh:   hasThr,
-			BoundLoMS:   lo, TruthMS: truth, BoundHiMS: hi, BoundsOK: ok,
-		})
+		out = append(out, d)
 	}
 	return out, nil
+}
+
+// fig5For runs the fixed-FE campaign for one service — the per-service
+// cell of Figure 5, shared by the serial method and the parallel cell
+// matrix.
+func (s *Study) fig5For(cfg DeploymentConfig) (*Fig5Data, error) {
+	boundary, err := s.boundaryFor(cfg)
+	if err != nil {
+		return nil, err
+	}
+	// The fixed-FE campaign is the study's largest (250 × 720
+	// sessions at paper scale): snap payloads at capture time so
+	// it fits in memory. The boundary probe above already ran
+	// with full payloads.
+	runner, err := emulator.New(s.cfg.Seed+41, cfg, emulator.Options{
+		Nodes: s.cfg.Nodes, FleetSeed: s.cfg.Seed + 42, SnapPayloads: true,
+	})
+	if err != nil {
+		return nil, err
+	}
+	fe := runner.Dep.FEByHost(simnet.HostID(cfg.Name + "-fe-metro-chicago"))
+	if fe == nil {
+		fe = runner.Dep.FEs[0]
+	}
+	ds, err := runner.RunExperimentB(emulator.BOptions{
+		FE: fe, Repeats: s.cfg.RepeatsB, Interval: s.cfg.IntervalB,
+		QuerySeed: s.cfg.Seed + 43,
+	})
+	if err != nil {
+		return nil, err
+	}
+	params := analysis.ExtractDataset(ds, boundary)
+	analysis.ObserveParams(s.obsv.Registry(), "fig5/"+cfg.Name, params)
+	nodes := analysis.PerNode(params)
+	thr, hasThr := analysis.DeltaThreshold(nodes, 2*time.Millisecond)
+	lo, truth, hi, ok := analysis.ValidateBounds(params, ds.FEFetchTimes[fe.Host()])
+	return &Fig5Data{
+		Service:     cfg.Name,
+		FixedFE:     string(fe.Host()),
+		Nodes:       nodes,
+		ThresholdMS: float64(thr) / float64(time.Millisecond),
+		HasThresh:   hasThr,
+		BoundLoMS:   lo, TruthMS: truth, BoundHiMS: hi, BoundsOK: ok,
+	}, nil
 }
 
 // --- Figure 6 ---
@@ -433,18 +486,24 @@ func (s *Study) Fig6() ([]*Fig6Data, error) {
 		if err != nil {
 			return nil, err
 		}
-		var rtts []float64
-		for _, n := range res.nodes {
-			rtts = append(rtts, float64(n.RTT)/float64(time.Millisecond))
-		}
-		cdf := stats.NewECDF(rtts)
-		out = append(out, &Fig6Data{
-			Service:       cfg.Name,
-			RTTsMS:        rtts,
-			FracUnder20ms: cdf.At(20),
-		})
+		out = append(out, fig6From(cfg, res))
 	}
 	return out, nil
+}
+
+// fig6From derives the Figure-6 series from a service's default-FE
+// campaign — a pure transform shared by Fig6 and the cell matrix.
+func fig6From(cfg DeploymentConfig, res *expAResult) *Fig6Data {
+	var rtts []float64
+	for _, n := range res.nodes {
+		rtts = append(rtts, float64(n.RTT)/float64(time.Millisecond))
+	}
+	cdf := stats.NewECDF(rtts)
+	return &Fig6Data{
+		Service:       cfg.Name,
+		RTTsMS:        rtts,
+		FracUnder20ms: cdf.At(20),
+	}
 }
 
 // --- Figure 7 ---
@@ -468,22 +527,28 @@ func (s *Study) Fig7() ([]*Fig7Data, error) {
 		if err != nil {
 			return nil, err
 		}
-		var st, dy []float64
-		for _, n := range res.nodes {
-			st = append(st, float64(n.MedStatic)/float64(time.Millisecond))
-			dy = append(dy, float64(n.MedDynamic)/float64(time.Millisecond))
-		}
-		sSum, dSum := stats.Summarize(st), stats.Summarize(dy)
-		out = append(out, &Fig7Data{
-			Service:      cfg.Name,
-			Nodes:        res.nodes,
-			MedStaticMS:  sSum.Median,
-			MedDynamicMS: dSum.Median,
-			IQRStaticMS:  sSum.IQR(),
-			IQRDynMS:     dSum.IQR(),
-		})
+		out = append(out, fig7From(cfg, res))
 	}
 	return out, nil
+}
+
+// fig7From derives the Figure-7 distributions from a service's
+// default-FE campaign.
+func fig7From(cfg DeploymentConfig, res *expAResult) *Fig7Data {
+	var st, dy []float64
+	for _, n := range res.nodes {
+		st = append(st, float64(n.MedStatic)/float64(time.Millisecond))
+		dy = append(dy, float64(n.MedDynamic)/float64(time.Millisecond))
+	}
+	sSum, dSum := stats.Summarize(st), stats.Summarize(dy)
+	return &Fig7Data{
+		Service:      cfg.Name,
+		Nodes:        res.nodes,
+		MedStaticMS:  sSum.Median,
+		MedDynamicMS: dSum.Median,
+		IQRStaticMS:  sSum.IQR(),
+		IQRDynMS:     dSum.IQR(),
+	}
 }
 
 // --- Figure 8 ---
@@ -508,25 +573,31 @@ func (s *Study) Fig8() ([]*Fig8Data, error) {
 		if err != nil {
 			return nil, err
 		}
-		d := &Fig8Data{Service: cfg.Name}
-		var meds, iqrs []float64
-		for _, n := range res.nodes {
-			d.Nodes = append(d.Nodes, string(n.Node))
-			bp := n.OverallDist
-			// Convert to milliseconds for reporting.
-			d.Boxes = append(d.Boxes, BoxPlot{
-				Min: bp.Min / 1e6, Q1: bp.Q1 / 1e6, Median: bp.Median / 1e6,
-				Q3: bp.Q3 / 1e6, Max: bp.Max / 1e6,
-				WhiskerLow: bp.WhiskerLow / 1e6, WhiskerHigh: bp.WhiskerHigh / 1e6,
-			})
-			meds = append(meds, bp.Median/1e6)
-			iqrs = append(iqrs, (bp.Q3-bp.Q1)/1e6)
-		}
-		d.MedOverallMS = stats.Median(meds)
-		d.SpreadMS = stats.Median(iqrs)
-		out = append(out, d)
+		out = append(out, fig8From(cfg, res))
 	}
 	return out, nil
+}
+
+// fig8From derives the Figure-8 box plots from a service's default-FE
+// campaign.
+func fig8From(cfg DeploymentConfig, res *expAResult) *Fig8Data {
+	d := &Fig8Data{Service: cfg.Name}
+	var meds, iqrs []float64
+	for _, n := range res.nodes {
+		d.Nodes = append(d.Nodes, string(n.Node))
+		bp := n.OverallDist
+		// Convert to milliseconds for reporting.
+		d.Boxes = append(d.Boxes, BoxPlot{
+			Min: bp.Min / 1e6, Q1: bp.Q1 / 1e6, Median: bp.Median / 1e6,
+			Q3: bp.Q3 / 1e6, Max: bp.Max / 1e6,
+			WhiskerLow: bp.WhiskerLow / 1e6, WhiskerHigh: bp.WhiskerHigh / 1e6,
+		})
+		meds = append(meds, bp.Median/1e6)
+		iqrs = append(iqrs, (bp.Q3-bp.Q1)/1e6)
+	}
+	d.MedOverallMS = stats.Median(meds)
+	d.SpreadMS = stats.Median(iqrs)
+	return d
 }
 
 // --- Figure 9 ---
@@ -551,45 +622,65 @@ func (s *Study) Fig9() ([]*Fig9Data, error) {
 	// Placement density does not change what each FE measures — its
 	// own distance to the data center versus its local clients'
 	// Tdynamic — it only adds regression points.
-	googleProbe := cdn.SingleBE(GoogleLike(s.cfg.Seed+2), "google-be-lenoir")
-	googleProbe.FESites = geo.USMetros()
-	setups := []struct {
-		cfg DeploymentConfig
-		be  string
-	}{
-		{cdn.SingleBE(BingLike(s.cfg.Seed+1), "bing-be-virginia"), "bing-be-virginia"},
-		{googleProbe, "google-be-lenoir"},
-	}
 	var out []*Fig9Data
-	for _, setup := range setups {
-		runner, err := emulator.New(s.cfg.Seed+51, setup.cfg,
-			emulator.Options{Nodes: s.cfg.Nodes, FleetSeed: s.cfg.Seed + 52})
+	for _, setup := range s.fig9Setups() {
+		d, err := s.fig9For(setup)
 		if err != nil {
 			return nil, err
 		}
-		ds := runner.RunExperimentA(emulator.AOptions{
-			QueriesPerNode: s.cfg.QueriesPerNodeA,
-			Interval:       s.cfg.IntervalA,
-			QuerySeed:      s.cfg.Seed + 53,
-		})
-		params := analysis.ExtractDataset(ds, 0)
-		pts := analysis.Fig9Points(params, runner.Dep.FEBEDistances(), s.cfg.Fig9RTTCap)
-		if s.cfg.Fig9MileCap > 0 {
-			kept := pts[:0]
-			for _, p := range pts {
-				if p.Miles <= s.cfg.Fig9MileCap {
-					kept = append(kept, p)
-				}
-			}
-			pts = kept
-		}
-		out = append(out, &Fig9Data{
-			Service: setup.cfg.Name,
-			BE:      setup.be,
-			Result:  analysis.FactorFetchCI(pts, 1000, s.cfg.Seed+54),
-		})
+		out = append(out, d)
 	}
 	return out, nil
+}
+
+// fig9Setup is one Figure-9 probe: a single-BE deployment and its data
+// center.
+type fig9Setup struct {
+	cfg DeploymentConfig
+	be  string
+}
+
+// fig9Setups returns the two single-data-center probes in canonical
+// order: Bing Virginia, then the FE-densified Google Lenoir.
+func (s *Study) fig9Setups() []fig9Setup {
+	googleProbe := cdn.SingleBE(GoogleLike(s.cfg.Seed+2), "google-be-lenoir")
+	googleProbe.FESites = geo.USMetros()
+	return []fig9Setup{
+		{cdn.SingleBE(BingLike(s.cfg.Seed+1), "bing-be-virginia"), "bing-be-virginia"},
+		{googleProbe, "google-be-lenoir"},
+	}
+}
+
+// fig9For runs one service's fetch-time factoring — the per-service
+// cell of Figure 9.
+func (s *Study) fig9For(setup fig9Setup) (*Fig9Data, error) {
+	runner, err := emulator.New(s.cfg.Seed+51, setup.cfg,
+		emulator.Options{Nodes: s.cfg.Nodes, FleetSeed: s.cfg.Seed + 52})
+	if err != nil {
+		return nil, err
+	}
+	ds := runner.RunExperimentA(emulator.AOptions{
+		QueriesPerNode: s.cfg.QueriesPerNodeA,
+		Interval:       s.cfg.IntervalA,
+		QuerySeed:      s.cfg.Seed + 53,
+	})
+	params := analysis.ExtractDataset(ds, 0)
+	analysis.ObserveParams(s.obsv.Registry(), "fig9/"+setup.cfg.Name, params)
+	pts := analysis.Fig9Points(params, runner.Dep.FEBEDistances(), s.cfg.Fig9RTTCap)
+	if s.cfg.Fig9MileCap > 0 {
+		kept := pts[:0]
+		for _, p := range pts {
+			if p.Miles <= s.cfg.Fig9MileCap {
+				kept = append(kept, p)
+			}
+		}
+		pts = kept
+	}
+	return &Fig9Data{
+		Service: setup.cfg.Name,
+		BE:      setup.be,
+		Result:  analysis.FactorFetchCI(pts, 1000, s.cfg.Seed+54),
+	}, nil
 }
 
 // --- Section 3: caching detection ---
@@ -608,48 +699,52 @@ type CachingData struct {
 // Caching reproduces the Section-3 experiment on the Google-like
 // service, plus a cache-enabled positive control.
 func (s *Study) Caching() (*CachingData, error) {
-	run := func(cache bool) (CacheVerdict, error) {
-		cfg := GoogleLike(s.cfg.Seed + 2)
-		if cache {
-			cfg.BEOptions = backend.Options{CacheResults: true, CacheHitTime: 2 * time.Millisecond}
-		}
-		runner, err := emulator.New(s.cfg.Seed+61, cfg,
-			emulator.Options{Nodes: min(s.cfg.Nodes, 40), FleetSeed: s.cfg.Seed + 62})
-		if err != nil {
-			return CacheVerdict{}, err
-		}
-		fe := runner.Dep.FEs[0]
-		same, distinct := runner.CachingProbe(fe, s.cfg.CachingRepeats,
-			2*time.Second, s.cfg.Seed+63)
-		boundary := analysis.BoundaryFromDataset(distinct)
-		if boundary <= 0 {
-			return CacheVerdict{}, fmt.Errorf("fesplit: caching probe boundary not found")
-		}
-		nearOnly := func(ps []Params) []Params {
-			out := ps[:0:0]
-			for _, p := range ps {
-				if p.RTT <= 25*time.Millisecond {
-					out = append(out, p)
-				}
-			}
-			return out
-		}
-		sp := nearOnly(analysis.ExtractDataset(same, boundary))
-		dp := nearOnly(analysis.ExtractDataset(distinct, boundary))
-		if len(sp) == 0 || len(dp) == 0 {
-			return CacheVerdict{}, fmt.Errorf("fesplit: caching probe found no near sessions")
-		}
-		return analysis.DetectCaching(sp, dp, 0.5), nil
-	}
-	deployed, err := run(false)
+	deployed, err := s.cachingRun(false)
 	if err != nil {
 		return nil, err
 	}
-	control, err := run(true)
+	control, err := s.cachingRun(true)
 	if err != nil {
 		return nil, err
 	}
 	return &CachingData{Service: "google-like", Deployed: deployed, Control: control}, nil
+}
+
+// cachingRun executes one caching-probe variant — deployed (cache off)
+// or positive control (cache on). The two variants are independent
+// worlds, which is what lets the cell matrix run them concurrently.
+func (s *Study) cachingRun(cache bool) (CacheVerdict, error) {
+	cfg := GoogleLike(s.cfg.Seed + 2)
+	if cache {
+		cfg.BEOptions = backend.Options{CacheResults: true, CacheHitTime: 2 * time.Millisecond}
+	}
+	runner, err := emulator.New(s.cfg.Seed+61, cfg,
+		emulator.Options{Nodes: min(s.cfg.Nodes, 40), FleetSeed: s.cfg.Seed + 62})
+	if err != nil {
+		return CacheVerdict{}, err
+	}
+	fe := runner.Dep.FEs[0]
+	same, distinct := runner.CachingProbe(fe, s.cfg.CachingRepeats,
+		2*time.Second, s.cfg.Seed+63)
+	boundary := analysis.BoundaryFromDataset(distinct)
+	if boundary <= 0 {
+		return CacheVerdict{}, fmt.Errorf("fesplit: caching probe boundary not found")
+	}
+	nearOnly := func(ps []Params) []Params {
+		out := ps[:0:0]
+		for _, p := range ps {
+			if p.RTT <= 25*time.Millisecond {
+				out = append(out, p)
+			}
+		}
+		return out
+	}
+	sp := nearOnly(analysis.ExtractDataset(same, boundary))
+	dp := nearOnly(analysis.ExtractDataset(distinct, boundary))
+	if len(sp) == 0 || len(dp) == 0 {
+		return CacheVerdict{}, fmt.Errorf("fesplit: caching probe found no near sessions")
+	}
+	return analysis.DetectCaching(sp, dp, 0.5), nil
 }
 
 func min(a, b int) int {

@@ -33,36 +33,47 @@ type TermEffectData struct {
 func (s *Study) TermEffect() ([]*TermEffectData, error) {
 	var out []*TermEffectData
 	for _, cfg := range s.serviceConfigs() {
-		boundary, err := s.boundaryFor(cfg)
+		d, err := s.termEffectFor(cfg)
 		if err != nil {
 			return nil, err
 		}
-		runner, err := emulator.New(s.cfg.Seed+81, cfg,
-			emulator.Options{Nodes: min(s.cfg.Nodes, 60), FleetSeed: s.cfg.Seed + 82})
-		if err != nil {
-			return nil, err
-		}
-		// Mixed-complexity corpus: every class contributes.
-		gen := workload.NewGenerator(s.cfg.Seed + 83)
-		var queries []workload.Query
-		for i := 0; i < s.cfg.QueriesPerNodeA; i++ {
-			queries = append(queries, gen.Query(workload.Classes()[i%4]))
-		}
-		ds := runner.RunExperimentA(emulator.AOptions{
-			QueriesPerNode: len(queries),
-			Interval:       s.cfg.IntervalA,
-			Queries:        queries,
-		})
-		params := analysis.ExtractDataset(ds, boundary)
-		pts, fit := analysis.TermEffect(params, 40*time.Millisecond)
-		out = append(out, &TermEffectData{
-			Service:        cfg.Name,
-			Points:         pts,
-			SlopeMSPerTerm: fit.Slope,
-			R2:             fit.R2,
-		})
+		out = append(out, d)
 	}
 	return out, nil
+}
+
+// termEffectFor runs the term-count correlation for one service — the
+// per-service cell shared by TermEffect and the parallel cell matrix.
+func (s *Study) termEffectFor(cfg DeploymentConfig) (*TermEffectData, error) {
+	boundary, err := s.boundaryFor(cfg)
+	if err != nil {
+		return nil, err
+	}
+	runner, err := emulator.New(s.cfg.Seed+81, cfg,
+		emulator.Options{Nodes: min(s.cfg.Nodes, 60), FleetSeed: s.cfg.Seed + 82})
+	if err != nil {
+		return nil, err
+	}
+	// Mixed-complexity corpus: every class contributes.
+	gen := workload.NewGenerator(s.cfg.Seed + 83)
+	var queries []workload.Query
+	for i := 0; i < s.cfg.QueriesPerNodeA; i++ {
+		queries = append(queries, gen.Query(workload.Classes()[i%4]))
+	}
+	ds := runner.RunExperimentA(emulator.AOptions{
+		QueriesPerNode: len(queries),
+		Interval:       s.cfg.IntervalA,
+		Queries:        queries,
+	})
+	params := analysis.ExtractDataset(ds, boundary)
+	analysis.ObserveParams(s.obsv.Registry(), "term/"+cfg.Name, params)
+	pts, fit := analysis.TermEffect(params, 40*time.Millisecond)
+	return &TermEffectData{
+		Service:        cfg.Name,
+		Points:         pts,
+		SlopeMSPerTerm: fit.Slope,
+		R2:             fit.R2,
+	}, nil
 }
 
 // InteractiveData summarizes the Section-6 search-as-you-type probe.
@@ -215,58 +226,88 @@ type WirelessData struct {
 // wireless profile, on the Google-like service. Placing FEs close to
 // users matters far more when the last hop loses packets.
 func (s *Study) Wireless() (*WirelessData, error) {
+	campus, err := s.wirelessRun(vantage.CampusProfile())
+	if err != nil {
+		return nil, err
+	}
+	wireless, err := s.wirelessRun(vantage.WirelessProfile())
+	if err != nil {
+		return nil, err
+	}
+	return combineWireless(campus, wireless)
+}
+
+// wirelessLeg is one access-profile run of the wireless what-if.
+type wirelessLeg struct {
+	OverallMS float64
+	Retrans   int
+}
+
+// namedProfile pairs an access profile with its cell-matrix label.
+type namedProfile struct {
+	name    string
+	profile vantage.AccessProfile
+}
+
+// wirelessProfiles returns the what-if's two access profiles in
+// canonical order: campus first, wireless second.
+func wirelessProfiles() []namedProfile {
+	return []namedProfile{
+		{"campus", vantage.CampusProfile()},
+		{"wireless", vantage.WirelessProfile()},
+	}
+}
+
+// wirelessRun executes the what-if campaign under one access profile —
+// the per-profile cell shared by Wireless and the parallel cell matrix.
+func (s *Study) wirelessRun(profile vantage.AccessProfile) (wirelessLeg, error) {
 	cfg := GoogleLike(s.cfg.Seed + 2)
 	boundary, err := s.boundaryFor(cfg)
 	if err != nil {
-		return nil, err
+		return wirelessLeg{}, err
 	}
-	run := func(profile vantage.AccessProfile) (float64, int, error) {
-		runner, err := emulator.New(s.cfg.Seed+87, cfg, emulator.Options{
-			Nodes: min(s.cfg.Nodes, 60), FleetSeed: s.cfg.Seed + 88, Access: profile,
-		})
-		if err != nil {
-			return 0, 0, err
-		}
-		ds := runner.RunExperimentA(emulator.AOptions{
-			QueriesPerNode: s.cfg.QueriesPerNodeA,
-			Interval:       s.cfg.IntervalA,
-			QuerySeed:      s.cfg.Seed + 89,
-		})
-		params := analysis.ExtractDataset(ds, boundary)
-		nodes := analysis.PerNode(params)
-		var meds []float64
-		for _, n := range nodes {
-			meds = append(meds, float64(n.MedOverall)/float64(time.Millisecond))
-		}
-		// Count retransmissions from the captured traces.
-		retrans := 0
-		for _, tr := range ds.Traces {
-			for _, ev := range tr.Events {
-				if ev.Seg.Retrans {
-					retrans++
-				}
+	runner, err := emulator.New(s.cfg.Seed+87, cfg, emulator.Options{
+		Nodes: min(s.cfg.Nodes, 60), FleetSeed: s.cfg.Seed + 88, Access: profile,
+	})
+	if err != nil {
+		return wirelessLeg{}, err
+	}
+	ds := runner.RunExperimentA(emulator.AOptions{
+		QueriesPerNode: s.cfg.QueriesPerNodeA,
+		Interval:       s.cfg.IntervalA,
+		QuerySeed:      s.cfg.Seed + 89,
+	})
+	params := analysis.ExtractDataset(ds, boundary)
+	nodes := analysis.PerNode(params)
+	var meds []float64
+	for _, n := range nodes {
+		meds = append(meds, float64(n.MedOverall)/float64(time.Millisecond))
+	}
+	// Count retransmissions from the captured traces.
+	retrans := 0
+	for _, tr := range ds.Traces {
+		for _, ev := range tr.Events {
+			if ev.Seg.Retrans {
+				retrans++
 			}
 		}
-		return stats.Median(meds), retrans, nil
 	}
-	campusMS, campusRx, err := run(vantage.CampusProfile())
-	if err != nil {
-		return nil, err
-	}
-	wirelessMS, wirelessRx, err := run(vantage.WirelessProfile())
-	if err != nil {
-		return nil, err
-	}
-	if wirelessMS <= campusMS {
+	return wirelessLeg{OverallMS: stats.Median(meds), Retrans: retrans}, nil
+}
+
+// combineWireless joins the two access-profile legs into the what-if
+// verdict, flagging the anomaly where wireless fails to be slower.
+func combineWireless(campus, wireless wirelessLeg) (*WirelessData, error) {
+	if wireless.OverallMS <= campus.OverallMS {
 		// Not an error, but flag the anomaly for the caller.
 		return nil, fmt.Errorf("fesplit: wireless (%f ms) not slower than campus (%f ms)",
-			wirelessMS, campusMS)
+			wireless.OverallMS, campus.OverallMS)
 	}
 	return &WirelessData{
-		Service:           cfg.Name,
-		CampusOverallMS:   campusMS,
-		WirelessOverallMS: wirelessMS,
-		CampusRetrans:     campusRx,
-		WirelessRetrans:   wirelessRx,
+		Service:           "google-like",
+		CampusOverallMS:   campus.OverallMS,
+		WirelessOverallMS: wireless.OverallMS,
+		CampusRetrans:     campus.Retrans,
+		WirelessRetrans:   wireless.Retrans,
 	}, nil
 }

@@ -1,0 +1,246 @@
+package fesplit
+
+import (
+	"fmt"
+
+	"fesplit/internal/obs"
+	"fesplit/internal/shard"
+)
+
+// This file is the parallel study runner: RunAll (and its observed
+// variant) decompose the study into a fixed matrix of independent
+// cells — (service × figure experiment) at this level, with the
+// default-FE campaign further split into node batches inside its cells
+// (see emulator.RunShardedA) — and execute the matrix on
+// StudyConfig.Workers goroutines via internal/shard.
+//
+// The reproducibility contract: the cell matrix, every seed, and the
+// merge order are pure functions of StudyConfig; Workers only schedules
+// the cells. Two runs of the same config therefore produce
+// byte-identical figures, metrics dumps and reports for ANY worker
+// counts — the property study_parallel_test.go pins down.
+//
+// Each cell runs on its own sub-Study: its own memoization caches, its
+// own observer, its own simulated worlds. Cells share nothing mutable,
+// which is what makes the matrix race-free without a single lock; the
+// cheap shared derivations (content boundaries) are recomputed per cell
+// and are identical by determinism. Results merge in canonical cell
+// order after the pool drains: figure slices by service order,
+// registries via obs.Registry.Merge, tail exemplars re-ranked across
+// the union via obs.MergeTailSamplers.
+
+// StudyOutput is everything an observed study run produces: the report,
+// the merged metrics of every cell, and the fleet-wide tail exemplars.
+type StudyOutput struct {
+	// Report holds every figure, exactly as RunAll returns it.
+	Report *Report
+	// Metrics is the canonical-order merge of all per-cell registries:
+	// simulator/TCP/FE/BE counters from the observed campaigns, the
+	// dimensional session-parameter sketches (service-labeled for the
+	// default-FE campaign, "fig5/"-, "fig9/"- and "term/"-prefixed for
+	// the other param-bearing cells), and study_cell_runs_total.
+	Metrics *MetricsRegistry
+	// Exemplars are the tail-latency and bound-violation span trees of
+	// the default-FE campaigns, re-ranked against the merged fleet-wide
+	// Tdynamic distribution after the shard join.
+	Exemplars []Exemplar
+}
+
+// Spans returns the exemplars' span trees as a tracer, ready for
+// WriteChromeTrace and WriteSpansJSONL.
+func (o *StudyOutput) Spans() *SpanTracer {
+	tr := obs.NewTracer()
+	for _, e := range o.Exemplars {
+		tr.Add(e.Span)
+	}
+	return tr
+}
+
+// cellResults is the pre-allocated result slot set of the cell matrix.
+// Every cell writes only its own field (or array element), so the
+// struct needs no synchronization beyond the pool's completion barrier.
+type cellResults struct {
+	fig3        *Fig3Data
+	fig4        []Fig4Row
+	fig5        [2]*Fig5Data
+	fig6        [2]*Fig6Data
+	fig7        [2]*Fig7Data
+	fig8        [2]*Fig8Data
+	fig9        [2]*Fig9Data
+	caching     [2]CacheVerdict // deployed, control
+	term        [2]*TermEffectData
+	interactive *InteractiveData
+	modelCheck  *ModelValidationData
+	wireless    [2]wirelessLeg // campus, wireless
+}
+
+// studyCell is one independent unit of the study matrix.
+type studyCell struct {
+	name string
+	run  func(cs *Study, res *cellResults) error
+}
+
+// cells returns the study's cell matrix in canonical order. The list —
+// like everything else in the decomposition — depends only on the
+// configuration, never on the worker count.
+func (s *Study) cells() []studyCell {
+	svcs := s.serviceConfigs()
+	list := []studyCell{
+		{"fig3", func(cs *Study, res *cellResults) (err error) {
+			res.fig3, err = cs.Fig3()
+			return
+		}},
+		{"fig4", func(cs *Study, res *cellResults) (err error) {
+			res.fig4, err = cs.Fig4()
+			return
+		}},
+	}
+	for i, cfg := range svcs {
+		i, cfg := i, cfg
+		list = append(list, studyCell{"fig5/" + cfg.Name, func(cs *Study, res *cellResults) (err error) {
+			res.fig5[i], err = cs.fig5For(cfg)
+			return
+		}})
+	}
+	for i, cfg := range svcs {
+		i, cfg := i, cfg
+		list = append(list, studyCell{"figA/" + cfg.Name, func(cs *Study, res *cellResults) error {
+			expA, err := cs.experimentA(cfg)
+			if err != nil {
+				return err
+			}
+			res.fig6[i] = fig6From(cfg, expA)
+			res.fig7[i] = fig7From(cfg, expA)
+			res.fig8[i] = fig8From(cfg, expA)
+			return nil
+		}})
+	}
+	for i, setup := range s.fig9Setups() {
+		i, setup := i, setup
+		list = append(list, studyCell{"fig9/" + setup.cfg.Name, func(cs *Study, res *cellResults) (err error) {
+			res.fig9[i], err = cs.fig9For(setup)
+			return
+		}})
+	}
+	for i, variant := range []struct {
+		name  string
+		cache bool
+	}{{"caching/deployed", false}, {"caching/control", true}} {
+		i, variant := i, variant
+		list = append(list, studyCell{variant.name, func(cs *Study, res *cellResults) (err error) {
+			res.caching[i], err = cs.cachingRun(variant.cache)
+			return
+		}})
+	}
+	for i, cfg := range svcs {
+		i, cfg := i, cfg
+		list = append(list, studyCell{"term-effect/" + cfg.Name, func(cs *Study, res *cellResults) (err error) {
+			res.term[i], err = cs.termEffectFor(cfg)
+			return
+		}})
+	}
+	list = append(list,
+		studyCell{"interactive", func(cs *Study, res *cellResults) (err error) {
+			res.interactive, err = cs.Interactive("cloud computing performance")
+			return
+		}},
+		studyCell{"model-validation", func(cs *Study, res *cellResults) (err error) {
+			res.modelCheck, err = cs.ModelValidation()
+			return
+		}},
+	)
+	for i, profile := range wirelessProfiles() {
+		i, profile := i, profile
+		list = append(list, studyCell{"wireless/" + profile.name, func(cs *Study, res *cellResults) (err error) {
+			res.wireless[i], err = cs.wirelessRun(profile.profile)
+			return
+		}})
+	}
+	return list
+}
+
+// RunAll executes every experiment of the study — on
+// StudyConfig.Workers goroutines — and returns the full report.
+func (s *Study) RunAll() (*Report, error) {
+	out, err := s.runMatrix(false)
+	if err != nil {
+		return nil, err
+	}
+	return out.Report, nil
+}
+
+// RunAllObserved is RunAll with per-cell observability: each cell
+// records into its own registry and tail sampler, and the shards merge
+// in canonical cell order into one registry and one re-ranked exemplar
+// set. The Report is identical to RunAll's — observation never
+// perturbs the simulations.
+func (s *Study) RunAllObserved() (*StudyOutput, error) {
+	return s.runMatrix(true)
+}
+
+// runMatrix runs the cell matrix and merges the results.
+func (s *Study) runMatrix(observed bool) (*StudyOutput, error) {
+	if s.cfg.Workers < 0 {
+		return nil, fmt.Errorf("fesplit: StudyConfig.Workers must be ≥ 1 (or 0 for auto), got %d",
+			s.cfg.Workers)
+	}
+	cells := s.cells()
+	res := &cellResults{}
+	obsvs := make([]*obs.Observer, len(cells))
+	tasks := make([]shard.Task, len(cells))
+	for i, c := range cells {
+		i, c := i, c
+		tasks[i] = shard.Task{Name: c.name, Run: func() error {
+			cs := NewStudy(s.cfg)
+			if observed {
+				cs.obsv = obs.NewTailObserver(obs.TailConfig{})
+				obsvs[i] = cs.obsv
+				cs.obsv.Reg.CounterVec("study_cell_runs_total",
+					"study cells executed, by cell name", "cell").With(c.name).Inc()
+			}
+			return c.run(cs, res)
+		}}
+	}
+	if err := shard.Run(s.cfg.Workers, tasks); err != nil {
+		return nil, err
+	}
+
+	rep := &Report{
+		Config:      s.cfg,
+		Fig3:        res.fig3,
+		Fig4:        res.fig4,
+		Fig5:        res.fig5[:],
+		Fig6:        res.fig6[:],
+		Fig7:        res.fig7[:],
+		Fig8:        res.fig8[:],
+		Fig9:        res.fig9[:],
+		Caching:     &CachingData{Service: "google-like", Deployed: res.caching[0], Control: res.caching[1]},
+		TermEffect:  res.term[:],
+		Interactive: res.interactive,
+		ModelCheck:  res.modelCheck,
+	}
+	wireless, err := combineWireless(res.wireless[0], res.wireless[1])
+	if err != nil {
+		return nil, fmt.Errorf("wireless: %w", err)
+	}
+	rep.Wireless = wireless
+	out := &StudyOutput{Report: rep}
+	if !observed {
+		return out, nil
+	}
+
+	merged := obs.NewRegistry()
+	samplers := make([]*obs.TailSampler, 0, len(obsvs))
+	for i, o := range obsvs {
+		if o == nil {
+			continue
+		}
+		if err := merged.Merge(o.Reg); err != nil {
+			return nil, fmt.Errorf("%s: %w", cells[i].name, err)
+		}
+		samplers = append(samplers, o.Tail)
+	}
+	out.Metrics = merged
+	out.Exemplars = obs.MergeTailSamplers(samplers...).Select()
+	return out, nil
+}
