@@ -18,15 +18,17 @@ check:
 	$(MAKE) fuzz-smoke
 	$(MAKE) bench-compare
 
-# Warn-only perf gate: short-benchtime run diffed against the latest
-# committed snapshot; ns/op growth beyond 15% is reported but does not
-# fail the build (timings on shared machines are too noisy to hard-gate;
-# eyeball the REGRESSION lines).
+# Perf gate: short-benchtime run diffed against the latest committed
+# snapshot. ns/op growth beyond 15% is reported but does not fail the
+# build (timings on shared machines are too noisy to hard-gate; eyeball
+# the REGRESSION lines). allocs/op on the hot-path benchmarks IS a hard
+# gate even under -warn-only — allocation counts are deterministic, and
+# the event engine and packet send path are pinned at zero allocs/op.
 bench-compare:
 	$(GO) run ./cmd/benchjson -benchtime 100ms -o bench-check.json \
 		-compare $(BENCH_BASELINE) -warn-only
 
-BENCH_BASELINE ?= BENCH_3.json
+BENCH_BASELINE ?= BENCH_4.json
 
 # Short fuzz pass over the observability codecs: label escaping and the
 # metrics JSONL round trip. Go runs one fuzz target per invocation, so
@@ -68,10 +70,10 @@ bench:
 	$(GO) test -bench=. -benchmem ./...
 
 # Perf-trajectory snapshot: root study benchmarks plus the simnet and
-# tcpsim micro-benchmarks, recorded as BENCH_3.json (name → ns/op,
+# tcpsim micro-benchmarks, recorded as BENCH_4.json (name → ns/op,
 # B/op, allocs/op). Later PRs diff new snapshots against this file.
 bench-json:
-	$(GO) run ./cmd/benchjson -o BENCH_3.json
+	$(GO) run ./cmd/benchjson -o BENCH_4.json
 
 # Light-scale figure regeneration (seconds).
 report: build

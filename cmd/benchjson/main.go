@@ -16,8 +16,14 @@
 // With -compare the fresh results are diffed against a previously
 // recorded baseline: any benchmark whose ns/op grew by more than
 // -threshold percent is flagged, and the process exits non-zero unless
-// -warn-only is set (the mode `make check` and CI use — benchmarks on
-// shared runners are too noisy to hard-gate).
+// -warn-only is set (the mode `make check` and CI use — wall-clock on
+// shared runners is too noisy to hard-gate).
+//
+// allocs/op is different: allocation counts are deterministic, so on
+// the hot-path benchmarks (EventThroughput*, NetworkSend*,
+// BulkTransfer*, EngineBackendOnly) a growth beyond -alloc-threshold
+// percent — or any allocation at all on a benchmark the baseline
+// records at zero — fails the comparison even under -warn-only.
 package main
 
 import (
@@ -53,7 +59,10 @@ func main() {
 	benchtime := flag.String("benchtime", "1s", "benchtime passed to go test")
 	compare := flag.String("compare", "", "baseline JSON file; flag ns/op regressions against it")
 	threshold := flag.Float64("threshold", 15, "ns/op regression threshold in percent for -compare")
-	warnOnly := flag.Bool("warn-only", false, "with -compare, report regressions without failing")
+	allocThreshold := flag.Float64("alloc-threshold", 10,
+		"allocs/op regression threshold in percent on gated hot-path benchmarks")
+	warnOnly := flag.Bool("warn-only", false,
+		"with -compare, report ns/op regressions without failing (allocs/op regressions still fail)")
 	flag.Parse()
 
 	pkgs := flag.Args()
@@ -91,17 +100,74 @@ func main() {
 		}
 		if len(regs) == 0 {
 			fmt.Printf("no ns/op regressions beyond %g%% vs %s\n", *threshold, *compare)
-		} else if !*warnOnly {
+		}
+		aregs := findAllocRegressions(baseline, results, *allocThreshold)
+		for _, r := range aregs {
+			if r.Old == 0 {
+				fmt.Printf("ALLOC REGRESSION %s: 0 → %s allocs/op (baseline is zero-alloc)\n",
+					r.Name, fnum(r.New))
+				continue
+			}
+			fmt.Printf("ALLOC REGRESSION %s: %s → %s allocs/op (%+.1f%%, threshold %g%%)\n",
+				r.Name, fnum(r.Old), fnum(r.New), r.Pct, *allocThreshold)
+		}
+		if len(aregs) == 0 {
+			fmt.Printf("no allocs/op regressions beyond %g%% on hot-path benchmarks vs %s\n",
+				*allocThreshold, *compare)
+		}
+		// Wall-clock regressions respect -warn-only; allocation
+		// regressions never do — allocs/op is deterministic, so a
+		// regression there is a real code change, not runner noise.
+		if (len(regs) > 0 && !*warnOnly) || len(aregs) > 0 {
 			os.Exit(1)
 		}
 	}
 }
 
-// Regression is one benchmark whose ns/op grew beyond the threshold.
+// allocGated matches the hot-path benchmarks whose allocs/op are
+// hard-gated: the event engine, the packet send path, and the
+// end-to-end transfer paths that ride on them. These were driven to
+// zero (or near-zero) allocations deliberately; any growth is a
+// regression in the zero-allocation design, not noise.
+var allocGated = regexp.MustCompile(
+	`^Benchmark(EventThroughput|NetworkSend|BulkTransfer|EngineBackendOnly)`)
+
+// Regression is one benchmark whose cost (ns/op or allocs/op,
+// depending on which finder produced it) grew beyond the threshold.
 type Regression struct {
 	Name     string
 	Old, New float64
 	Pct      float64
+}
+
+// findAllocRegressions diffs allocs/op on the alloc-gated hot-path
+// benchmarks. A benchmark whose baseline is zero allocations fails on
+// ANY fresh allocation; otherwise growth beyond threshold percent
+// fails. Benchmarks present in only one file are skipped.
+func findAllocRegressions(baseline, fresh map[string]Result, threshold float64) []Regression {
+	var regs []Regression
+	for name, nr := range fresh {
+		if !allocGated.MatchString(name) {
+			continue
+		}
+		br, ok := baseline[name]
+		if !ok {
+			continue
+		}
+		switch {
+		case br.AllocsPerOp == 0:
+			if nr.AllocsPerOp > 0 {
+				regs = append(regs, Regression{Name: name, Old: 0, New: nr.AllocsPerOp, Pct: 100})
+			}
+		default:
+			pct := 100 * (nr.AllocsPerOp - br.AllocsPerOp) / br.AllocsPerOp
+			if pct > threshold {
+				regs = append(regs, Regression{Name: name, Old: br.AllocsPerOp, New: nr.AllocsPerOp, Pct: pct})
+			}
+		}
+	}
+	sort.Slice(regs, func(i, j int) bool { return regs[i].Name < regs[j].Name })
+	return regs
 }
 
 // findRegressions diffs fresh results against a baseline, returning

@@ -30,6 +30,33 @@ func TestFindRegressions(t *testing.T) {
 	}
 }
 
+func TestFindAllocRegressions(t *testing.T) {
+	baseline := map[string]Result{
+		"BenchmarkEventThroughput":        {NsPerOp: 50, AllocsPerOp: 0},
+		"BenchmarkNetworkSendWithMetrics": {NsPerOp: 240, AllocsPerOp: 0},
+		"BenchmarkBulkTransfer":           {NsPerOp: 1e6, AllocsPerOp: 100},
+		"BenchmarkEngineBackendOnly":      {NsPerOp: 1e6, AllocsPerOp: 1000},
+		"BenchmarkStudyRunAllWorkers1":    {NsPerOp: 1e9, AllocsPerOp: 1000}, // not gated
+	}
+	fresh := map[string]Result{
+		"BenchmarkEventThroughput":        {NsPerOp: 50, AllocsPerOp: 1},    // 0 → 1: fails
+		"BenchmarkNetworkSendWithMetrics": {NsPerOp: 240, AllocsPerOp: 0},   // still zero: ok
+		"BenchmarkBulkTransfer":           {NsPerOp: 1e6, AllocsPerOp: 108}, // +8%, inside threshold
+		"BenchmarkEngineBackendOnly":      {NsPerOp: 1e6, AllocsPerOp: 1200},
+		"BenchmarkStudyRunAllWorkers1":    {NsPerOp: 1e9, AllocsPerOp: 9999}, // ungated name: skipped
+	}
+	regs := findAllocRegressions(baseline, fresh, 10)
+	if len(regs) != 2 {
+		t.Fatalf("alloc regressions = %+v, want EngineBackendOnly and EventThroughput", regs)
+	}
+	if regs[0].Name != "BenchmarkEngineBackendOnly" || regs[1].Name != "BenchmarkEventThroughput" {
+		t.Fatalf("alloc regressions = %+v, want sorted [EngineBackendOnly EventThroughput]", regs)
+	}
+	if regs[1].Old != 0 || regs[1].New != 1 {
+		t.Errorf("zero-baseline regression = %+v, want Old=0 New=1", regs[1])
+	}
+}
+
 func TestJSONRoundTrip(t *testing.T) {
 	results := map[string]Result{
 		"BenchmarkA": {NsPerOp: 396.1, BytesPerOp: 133, AllocsPerOp: 2, Iterations: 3022214},

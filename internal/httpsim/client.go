@@ -10,7 +10,9 @@ import (
 type ResponseCallbacks struct {
 	// OnHeader fires when the response header completes.
 	OnHeader func(*Response)
-	// OnBody fires for each body fragment, in order.
+	// OnBody fires for each body fragment, in order. The slice aliases
+	// the accumulating Response.Body and must not be modified; its
+	// bytes remain valid after the callback returns.
 	OnBody func([]byte)
 	// OnDone fires when the response is complete, with the full body.
 	OnDone func(*Response)

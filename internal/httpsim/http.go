@@ -194,6 +194,23 @@ type responseParser struct {
 	onDone      func(*Response)
 }
 
+// emitBody appends data to the current response's body and reports the
+// freshly appended region to onBodyChunk. The callback slice aliases
+// Response.Body — Body only ever grows, so its bytes stay stable, but
+// callees must treat it as read-only (it is capacity-capped so an
+// append cannot clobber later body bytes). Sharing the Body copy this
+// way means each fragment costs zero allocations beyond amortized Body
+// growth, where the parser previously made a throwaway copy per
+// fragment — a top allocator in full-study profiles.
+func (p *responseParser) emitBody(data []byte) {
+	start := len(p.cur.Body)
+	p.cur.Body = append(p.cur.Body, data...)
+	if p.onBodyChunk != nil {
+		end := len(p.cur.Body)
+		p.onBodyChunk(p.cur.Body[start:end:end])
+	}
+}
+
 // feed appends stream data, invoking callbacks as parsing progresses.
 func (p *responseParser) feed(data []byte) error {
 	p.buf.Write(data)
@@ -248,13 +265,8 @@ func (p *responseParser) feed(data []byte) error {
 		if p.untilClose {
 			// Consume everything; completion happens at close().
 			if p.buf.Len() > 0 {
-				chunk := make([]byte, p.buf.Len())
-				copy(chunk, p.buf.Bytes())
+				p.emitBody(p.buf.Bytes())
 				p.buf.Reset()
-				p.cur.Body = append(p.cur.Body, chunk...)
-				if p.onBodyChunk != nil {
-					p.onBodyChunk(chunk)
-				}
 			}
 			return nil
 		}
@@ -265,13 +277,8 @@ func (p *responseParser) feed(data []byte) error {
 		if n > p.need {
 			n = p.need
 		}
-		chunk := make([]byte, n)
-		copy(chunk, p.buf.Next(n))
-		p.cur.Body = append(p.cur.Body, chunk...)
+		p.emitBody(p.buf.Next(n))
 		p.need -= n
-		if p.onBodyChunk != nil {
-			p.onBodyChunk(chunk)
-		}
 		if p.need == 0 {
 			p.finish()
 			continue
@@ -297,18 +304,14 @@ func (p *responseParser) feedChunked() (done bool, err error) {
 			if take > n {
 				take = n
 			}
-			raw := make([]byte, take)
-			copy(raw, p.buf.Next(take))
+			raw := p.buf.Next(take)
 			consumed := (p.chunkSize + 2) - p.chunkLeft // before this take
 			payloadEnd := p.chunkSize - consumed        // payload bytes within raw
 			if payloadEnd > len(raw) {
 				payloadEnd = len(raw)
 			}
 			if payloadEnd > 0 {
-				p.cur.Body = append(p.cur.Body, raw[:payloadEnd]...)
-				if p.onBodyChunk != nil {
-					p.onBodyChunk(raw[:payloadEnd])
-				}
+				p.emitBody(raw[:payloadEnd])
 			}
 			p.chunkLeft -= take
 			continue

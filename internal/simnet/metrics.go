@@ -21,6 +21,11 @@ type Metrics struct {
 	PacketsSent    *obs.Counter
 	PacketsDropped *obs.Counter
 	BytesSent      *obs.Counter
+
+	// sim, set by SetMetrics, lets Flush read the queue depth and its
+	// exact maximum; the per-event gauge updates are sampled (see
+	// Sim.enqueue), so Flush is where the final values land.
+	sim *Sim
 }
 
 // NewMetrics registers the simnet metric families on reg and returns
@@ -41,10 +46,17 @@ func NewMetrics(reg *obs.Registry) *Metrics {
 	}
 }
 
-// Flush copies derived values (gauge maxima) into their exported
-// gauges. Call once before exporting the registry.
+// Flush copies derived values (the current queue depth and its exact
+// maximum) into their exported gauges. Call once before exporting the
+// registry: the per-event HeapDepth updates are decimated samples, so
+// only after Flush do the gauges carry authoritative values.
 func (m *Metrics) Flush() {
 	if m == nil {
+		return
+	}
+	if s := m.sim; s != nil {
+		m.HeapDepth.Set(float64(s.events.len()))
+		m.HeapDepthMax.Set(float64(s.maxDepth))
 		return
 	}
 	m.HeapDepthMax.Set(m.HeapDepth.Max())
@@ -52,22 +64,34 @@ func (m *Metrics) Flush() {
 
 // SetMetrics wires (or, with nil, unwires) scheduler and network
 // instrumentation. The network shares the simulator's bundle.
-func (s *Sim) SetMetrics(m *Metrics) { s.metrics = m }
+func (s *Sim) SetMetrics(m *Metrics) {
+	s.metrics = m
+	if m != nil {
+		m.sim = s
+	}
+}
 
 // Metrics returns the wired bundle (nil when disabled).
 func (s *Sim) Metrics() *Metrics { return s.metrics }
 
 // ExportMetrics snapshots the per-path counters into labeled registry
-// families (net_path_*_total{from,to}). Paths are walked in sorted key
-// order so the exposition is deterministic. The per-packet hot path
-// stays untouched: paths already count sends locally.
+// families (net_path_*{from,to}). Paths are walked in sorted key order
+// so the exposition is deterministic. The per-packet hot path stays
+// untouched: paths already count sends locally.
+//
+// The families are gauges: each export Sets the path's cumulative
+// totals as a snapshot, so re-exporting after more traffic simply
+// overwrites (the old counter-based export had to fake this with
+// Add(v − Value()) deltas). After a shard merge the per-path series
+// carry the busiest shard's snapshot — gauges merge by max; see
+// obs.Registry.Merge.
 func (n *Network) ExportMetrics(reg *obs.Registry) {
 	if reg == nil {
 		return
 	}
-	sent := reg.CounterVec("net_path_packets_total", "packets sent per directed path", "from", "to")
-	dropped := reg.CounterVec("net_path_dropped_total", "packets dropped per directed path", "from", "to")
-	bytes := reg.CounterVec("net_path_bytes_total", "bytes sent per directed path", "from", "to")
+	sent := reg.GaugeVec("net_path_packets", "packets sent per directed path (snapshot)", "from", "to")
+	dropped := reg.GaugeVec("net_path_dropped", "packets dropped per directed path (snapshot)", "from", "to")
+	bytes := reg.GaugeVec("net_path_bytes", "bytes sent per directed path (snapshot)", "from", "to")
 
 	keys := make([]pathKey, 0, len(n.paths))
 	for k := range n.paths {
@@ -85,12 +109,8 @@ func (n *Network) ExportMetrics(reg *obs.Registry) {
 			continue // unused default paths would bloat the exposition
 		}
 		from, to := string(k.from), string(k.to)
-		set(sent.With(from, to), float64(p.sent))
-		set(dropped.With(from, to), float64(p.dropped))
-		set(bytes.With(from, to), float64(p.bytes))
+		sent.With(from, to).Set(float64(p.sent))
+		dropped.With(from, to).Set(float64(p.dropped))
+		bytes.With(from, to).Set(float64(p.bytes))
 	}
 }
-
-// set raises a snapshot counter to v (counters only move forward, so
-// re-export after more traffic adds the delta).
-func set(c *obs.Counter, v float64) { c.Add(v - c.Value()) }

@@ -197,11 +197,18 @@ func (n *Network) Send(pkt Packet) {
 	}
 	p.lastArrival = arrival
 
-	n.sim.ScheduleAt(arrival, func() {
-		if h, ok := n.hosts[pkt.To]; ok {
-			h.Deliver(pkt)
-		}
-	})
+	// The packet rides in the event by value — no closure, no per-send
+	// allocation (the delivery benchmark gates this at 0 allocs/op).
+	n.sim.schedulePacket(arrival, n, pkt)
+}
+
+// deliverNow hands pkt to its destination's handler, the delivery half
+// of Send's packet events. The handler lookup happens at delivery time
+// so Detach drops packets in flight, as before.
+func (n *Network) deliverNow(pkt Packet) {
+	if h, ok := n.hosts[pkt.To]; ok {
+		h.Deliver(pkt)
+	}
 }
 
 // PathStats reports counters for the directed path from → to.

@@ -31,10 +31,13 @@ func BootstrapLinReg(xs, ys []float64, resamples int, level float64, rng *rand.R
 	if n < 2 || resamples < 1 {
 		return BootstrapCI{Level: level}, BootstrapCI{Level: level}
 	}
-	slopes := make([]float64, 0, resamples)
-	intercepts := make([]float64, 0, resamples)
-	rx := make([]float64, n)
-	ry := make([]float64, n)
+	// One backing array for the two resample scratches and one for the
+	// two statistic streams; the resample loop itself allocates nothing.
+	scratch := make([]float64, 2*n)
+	rx, ry := scratch[:n:n], scratch[n:]
+	acc := make([]float64, 2*resamples)
+	slopes := acc[:0:resamples]
+	intercepts := acc[resamples:resamples:2*resamples]
 	for b := 0; b < resamples; b++ {
 		for i := 0; i < n; i++ {
 			j := rng.Intn(n)
@@ -59,7 +62,11 @@ func BootstrapMedian(xs []float64, resamples int, level float64, rng *rand.Rand)
 		for i := 0; i < n; i++ {
 			sample[i] = xs[rng.Intn(n)]
 		}
-		meds = append(meds, Median(sample))
+		// Median would sort a fresh copy per resample; sorting the
+		// scratch in place is free — every slot is overwritten on the
+		// next round — and yields the same value.
+		sort.Float64s(sample)
+		meds = append(meds, quantileSorted(sample, 0.5))
 	}
 	return percentileCI(meds, level)
 }

@@ -28,7 +28,10 @@ type Conn struct {
 	// OnConnect fires when the connection reaches ESTABLISHED.
 	OnConnect func()
 	// OnData delivers in-order stream bytes as they arrive. The slice
-	// is owned by the callee.
+	// is valid only for the duration of the callback — it aliases the
+	// sender's send buffer or a pooled reassembly buffer that is
+	// recycled when the callback returns — so callbacks that keep the
+	// bytes must copy them. The callback must not modify the slice.
 	OnData func([]byte)
 	// OnClose fires once when the peer's FIN is received (end of the
 	// peer's stream).
@@ -43,10 +46,16 @@ type Conn struct {
 	st         state
 
 	// --- send side ---
-	sndUna    uint64  // oldest unacknowledged sequence number
-	sndNxt    uint64  // next sequence number to send
-	maxSent   uint64  // highest sequence ever transmitted (Retrans marking)
-	sndBuf    []byte  // unacked + unsent payload bytes
+	sndUna  uint64 // oldest unacknowledged sequence number
+	sndNxt  uint64 // next sequence number to send
+	maxSent uint64 // highest sequence ever transmitted (Retrans marking)
+	// sndBuf holds unacked + unsent payload bytes. Its contents are
+	// write-once: Send appends, acks advance the slice head, and no
+	// byte is ever overwritten in place — which is what lets outgoing
+	// segments carry capacity-capped subslices of it instead of fresh
+	// copies (see sendData). A reallocating append leaves in-flight
+	// subslices pointing at the old array, whose bytes never change.
+	sndBuf    []byte
 	bufBase   uint64  // sequence number of sndBuf[0]
 	cwnd      float64 // congestion window, bytes
 	ssthresh  float64 // slow-start threshold, bytes
@@ -342,14 +351,21 @@ func (c *Conn) retransmitHole(from uint64) bool {
 			n = b.Start - start
 		}
 	}
-	off := start - c.bufBase
-	data := make([]byte, n)
-	copy(data, c.sndBuf[off:off+n])
-	s := c.seg(FlagACK, start, data)
+	s := c.seg(FlagACK, start, c.payload(start, n))
 	s.Retrans = true
 	c.transmit(s)
 	c.lastHole = start + n
 	return true
+}
+
+// payload returns the outgoing segment payload for stream range
+// [seq, seq+n) as a subslice of sndBuf — zero-copy, safe because
+// sndBuf's contents are write-once (see the field comment). The
+// capacity cap keeps a misbehaving receiver from appending into the
+// send buffer.
+func (c *Conn) payload(seq, n uint64) []byte {
+	off := seq - c.bufBase
+	return c.sndBuf[off : off+n : off+n]
 }
 
 func (c *Conn) transmit(s Segment) {
@@ -524,14 +540,11 @@ func (c *Conn) retransmitOldest() {
 	}
 	streamEnd := c.bufBase + uint64(len(c.sndBuf))
 	if c.sndUna < streamEnd {
-		off := c.sndUna - c.bufBase
 		n := uint64(c.ep.cfg.MSS)
 		if n > streamEnd-c.sndUna {
 			n = streamEnd - c.sndUna
 		}
-		data := make([]byte, n)
-		copy(data, c.sndBuf[off:off+n])
-		s := c.seg(FlagACK, c.sndUna, data)
+		s := c.seg(FlagACK, c.sndUna, c.payload(c.sndUna, n))
 		s.Retrans = true
 		c.transmit(s)
 		return
@@ -766,12 +779,12 @@ func (c *Conn) processPayload(s Segment) {
 			}
 		}
 	case s.Seq > c.rcvNxt:
-		// Out of order: buffer and send an immediate duplicate ACK.
+		// Out of order: buffer a pooled copy and send an immediate
+		// duplicate ACK. The copy decouples the hole buffer from the
+		// sender's send buffer; the pool recycles it after delivery.
 		if len(s.Data) > 0 {
 			if _, dup := c.ooo[s.Seq]; !dup {
-				d := make([]byte, len(s.Data))
-				copy(d, s.Data)
-				c.ooo[s.Seq] = d
+				c.ooo[s.Seq] = c.ep.segPool.copyIn(s.Data)
 			}
 		}
 		if s.Flags&FlagFIN != 0 {
@@ -813,7 +826,8 @@ func (c *Conn) handleFIN(seqEnd uint64) {
 	c.maybeFinish()
 }
 
-// drainOOO delivers buffered segments that have become contiguous.
+// drainOOO delivers buffered segments that have become contiguous,
+// recycling each buffer once its OnData callback has returned.
 // It reports whether anything was drained.
 func (c *Conn) drainOOO() bool {
 	drained := false
@@ -825,9 +839,11 @@ func (c *Conn) drainOOO() bool {
 		delete(c.ooo, c.rcvNxt)
 		c.deliver(d)
 		c.rcvNxt += uint64(len(d))
+		c.ep.segPool.put(d)
 		drained = true
 	}
-	// Discard stale overlapping buffers (segments now below rcvNxt).
+	// Discard stale overlapping buffers (segments now below rcvNxt),
+	// returning them to the pool.
 	if drained && len(c.ooo) > 0 {
 		keys := make([]uint64, 0, len(c.ooo))
 		for k := range c.ooo {
@@ -836,6 +852,7 @@ func (c *Conn) drainOOO() bool {
 		sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
 		for _, k := range keys {
 			if k < c.rcvNxt {
+				c.ep.segPool.put(c.ooo[k])
 				delete(c.ooo, k)
 			}
 		}
@@ -880,10 +897,7 @@ func (c *Conn) trySend() {
 		if n == 0 {
 			return
 		}
-		off := c.sndNxt - c.bufBase
-		data := make([]byte, n)
-		copy(data, c.sndBuf[off:off+n])
-		s := c.seg(FlagACK, c.sndNxt, data)
+		s := c.seg(FlagACK, c.sndNxt, c.payload(c.sndNxt, n))
 		if c.sndNxt < c.maxSent {
 			s.Retrans = true // go-back-N resend after an RTO
 		} else {
@@ -926,12 +940,23 @@ func (c *Conn) abort() {
 	}
 	c.st = stateClosed
 	c.cancelTimer()
+	c.releaseOOO()
 	c.ep.remove(c)
 	if !c.closedUp {
 		c.closedUp = true
 		if c.OnClose != nil {
 			c.OnClose()
 		}
+	}
+}
+
+// releaseOOO returns any still-buffered out-of-order segments to the
+// pool on connection teardown. Pool order is irrelevant — buffers are
+// content-free containers between owners.
+func (c *Conn) releaseOOO() {
+	for k, d := range c.ooo {
+		delete(c.ooo, k)
+		c.ep.segPool.put(d)
 	}
 }
 
@@ -945,6 +970,7 @@ func (c *Conn) maybeFinish() {
 	if c.finSent && c.finAcked && c.closedUp {
 		c.st = stateClosed
 		c.cancelTimer()
+		c.releaseOOO()
 		c.ep.remove(c)
 	}
 }

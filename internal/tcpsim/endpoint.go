@@ -41,6 +41,10 @@ type Endpoint struct {
 	listeners map[uint16]*Listener
 	nextPort  uint16
 
+	// segPool recycles out-of-order reassembly buffers across this
+	// host's connections; see the ownership rules on segPool.
+	segPool segPool
+
 	// Tap, when non-nil, observes every segment this endpoint sends or
 	// receives. Used for packet capture.
 	Tap func(TapEvent)

@@ -1,0 +1,56 @@
+package tcpsim
+
+// segPool is a free list of payload buffers for out-of-order segment
+// reassembly. Before it existed, every reordered segment cost a fresh
+// make([]byte, n) that the GC had to reclaim after delivery; lossy
+// wide-area transfers buffer thousands of them per connection. The
+// pool is owned by an Endpoint and shared by that host's connections —
+// the simulation is single-threaded, so no locking.
+//
+// Ownership rules (the pool-reuse test asserts them):
+//
+//   - copyIn hands a buffer to exactly one owner — the conn's ooo map.
+//     The pool keeps no reference to handed-out buffers.
+//   - put transfers a buffer back to the pool; the caller must drop its
+//     reference. A buffer is never simultaneously in the free list and
+//     in an ooo map.
+//   - A pooled buffer delivered to Conn.OnData is recycled as soon as
+//     the callback returns, so OnData slices are valid only for the
+//     duration of the callback (see the OnData doc comment).
+type segPool struct {
+	free [][]byte
+}
+
+// copyIn returns a pooled copy of data, allocating only when the free
+// list is empty or its top buffer is too small. Segments are at most
+// one MSS, so after warm-up the list serves every request.
+func (p *segPool) copyIn(data []byte) []byte {
+	b := p.get(len(data))
+	copy(b, data)
+	return b
+}
+
+// get returns a zero-copy buffer of length n from the free list, or a
+// fresh one. An undersized pooled buffer is retired rather than
+// re-stacked: the larger replacement re-enters the pool via put and
+// serves all future rounds.
+func (p *segPool) get(n int) []byte {
+	if last := len(p.free) - 1; last >= 0 {
+		b := p.free[last]
+		p.free[last] = nil
+		p.free = p.free[:last]
+		if cap(b) >= n {
+			return b[:n]
+		}
+	}
+	return make([]byte, n)
+}
+
+// put returns b to the free list. Zero-capacity buffers are dropped —
+// nothing to reuse.
+func (p *segPool) put(b []byte) {
+	if cap(b) == 0 {
+		return
+	}
+	p.free = append(p.free, b[:0])
+}

@@ -2,6 +2,8 @@ package workload
 
 import (
 	"bytes"
+	"fmt"
+	"math/rand"
 	"strings"
 	"testing"
 	"time"
@@ -181,6 +183,54 @@ func TestDynamicBodyDependsOnQuery(t *testing.T) {
 	}
 	if !bytes.Contains(b1, []byte(q1.Keywords)) {
 		t.Fatal("dynamic body lacks its keywords")
+	}
+}
+
+// dynamicBodyRef is the original fmt.Fprintf implementation of
+// DynamicBody, kept as a readable reference. The differential test
+// below pins the allocation-free production version to it byte for
+// byte (including rng call order — both draw from the same stream).
+func dynamicBodyRef(s ContentSpec, q Query, rng *rand.Rand) []byte {
+	var b bytes.Buffer
+	fmt.Fprintf(&b, `<div id="dynmenu">related: %s images, %s news</div>`+"\n", q.Keywords, q.Keywords)
+	target := s.DynamicSize(q)
+	i := 0
+	for b.Len() < target-128 {
+		i++
+		if rng.Float64() < 0.15 {
+			fmt.Fprintf(&b, `<div class="ad">Ad %d — buy %s now! sponsored-link-%06d</div>`+"\n",
+				i, q.Keywords, rng.Intn(1e6))
+			continue
+		}
+		fmt.Fprintf(&b, `<div class="res"><a href="http://example-%06d.org/%d">%s — result %d</a>`,
+			rng.Intn(1e6), q.ID, q.Keywords, i)
+		fmt.Fprintf(&b, `<span class="url">example-%06d.org</span><p>snippet about %s`,
+			rng.Intn(1e6), q.Keywords)
+		n := 40 + rng.Intn(120)
+		for j := 0; j < n; j++ {
+			b.WriteByte(byte('a' + (i+j)%26))
+		}
+		b.WriteString("</p></div>\n")
+	}
+	fmt.Fprintf(&b, "</div>\n</body>\n</html>\n<!-- qid=%d -->", q.ID)
+	return b.Bytes()
+}
+
+func TestDynamicBodyMatchesReference(t *testing.T) {
+	for _, svc := range []string{"google-like", "bing-like"} {
+		spec := DefaultContentSpec(svc)
+		g := NewGenerator(11)
+		for _, class := range []Class{ClassGranular, ClassComplex, ClassPopular} {
+			for k := 0; k < 8; k++ {
+				q := g.Query(class)
+				got := spec.DynamicBody(q, stats.NewRand(int64(q.ID)))
+				want := dynamicBodyRef(spec, q, stats.NewRand(int64(q.ID)))
+				if !bytes.Equal(got, want) {
+					t.Fatalf("%s %v q=%d: DynamicBody diverges from fmt reference\ngot  %q\nwant %q",
+						svc, class, q.ID, got, want)
+				}
+			}
+		}
 	}
 }
 
