@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet bench bench-json bench-compare check report report-full examples clean fuzz-smoke equivalence
+.PHONY: all build test vet bench bench-json bench-compare check report report-full examples clean fuzz-smoke equivalence fastpath-check
 
 all: build vet test
 
@@ -28,7 +28,17 @@ bench-compare:
 	$(GO) run ./cmd/benchjson -benchtime 100ms -o bench-check.json \
 		-compare $(BENCH_BASELINE) -warn-only
 
-BENCH_BASELINE ?= BENCH_4.json
+BENCH_BASELINE ?= BENCH_5.json
+
+# Fast-forward engine equivalence gate: the differential property test
+# (randomized RTT/loss/size/cwnd scenarios, fast lane vs packet lane),
+# the fallback-boundary tests and the keep-alive fuzz seeds, at an
+# elevated -count and under the race detector. Slower than the regular
+# test run; CI runs it as its own job.
+fastpath-check:
+	$(GO) test -race -count=5 -run 'FastPath' ./internal/tcpsim
+	$(GO) test -race -count=5 -run 'FuzzKeepAliveExpiry' ./internal/httpsim
+	$(GO) test -race -count=2 -run 'TestParallelSerialEquivalence' .
 
 # Short fuzz pass over the observability codecs: label escaping and the
 # metrics JSONL round trip. Go runs one fuzz target per invocation, so
@@ -70,10 +80,16 @@ bench:
 	$(GO) test -bench=. -benchmem ./...
 
 # Perf-trajectory snapshot: root study benchmarks plus the simnet and
-# tcpsim micro-benchmarks, recorded as BENCH_4.json (name → ns/op,
+# tcpsim micro-benchmarks, recorded as BENCH_5.json (name → ns/op,
 # B/op, allocs/op). Later PRs diff new snapshots against this file.
+#
+# The `[^4]$` bench regexp drops BenchmarkStudyRunAllWorkers4 — the
+# only name ending in "4" — so the full study runs once, not twice.
+# The serial run (Workers1) is the trajectory's study timing: it does
+# not depend on the runner's core count, and the parallel runner's
+# correctness is already pinned byte-for-byte by `make equivalence`.
 bench-json:
-	$(GO) run ./cmd/benchjson -o BENCH_4.json
+	$(GO) run ./cmd/benchjson -bench '[^4]$$' -o BENCH_5.json
 
 # Light-scale figure regeneration (seconds).
 report: build

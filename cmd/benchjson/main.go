@@ -7,7 +7,7 @@
 // Usage:
 //
 //	benchjson [-o BENCH_1.json] [-bench REGEXP] [-benchtime 1s]
-//	          [-compare OLD.json] [-threshold 15] [-warn-only] [PKG ...]
+//	          [-compare OLD.json] [-threshold 15] [-warn-only] [-json] [PKG ...]
 //
 // With no packages the root benchmarks plus the simnet and tcpsim
 // micro-benchmarks are run — the set the instrumentation-overhead
@@ -21,9 +21,16 @@
 //
 // allocs/op is different: allocation counts are deterministic, so on
 // the hot-path benchmarks (EventThroughput*, NetworkSend*,
-// BulkTransfer*, EngineBackendOnly) a growth beyond -alloc-threshold
-// percent — or any allocation at all on a benchmark the baseline
-// records at zero — fails the comparison even under -warn-only.
+// BulkTransfer*, EngineBackendOnly, FastPath*) a growth beyond
+// -alloc-threshold percent — or any allocation at all on a benchmark
+// the baseline records at zero — fails the comparison even under
+// -warn-only.
+//
+// With -json the comparison is also emitted to stdout as a
+// machine-readable delta list (sorted by name, stable field order):
+// one record per benchmark present in both files, carrying old/new
+// ns/op and allocs/op, percentage changes, and a pass flag that is
+// false exactly when the human-readable mode would flag the benchmark.
 package main
 
 import (
@@ -63,6 +70,8 @@ func main() {
 		"allocs/op regression threshold in percent on gated hot-path benchmarks")
 	warnOnly := flag.Bool("warn-only", false,
 		"with -compare, report ns/op regressions without failing (allocs/op regressions still fail)")
+	jsonOut := flag.Bool("json", false,
+		"with -compare, emit per-benchmark deltas to stdout as JSON instead of prose")
 	flag.Parse()
 
 	pkgs := flag.Args()
@@ -85,7 +94,13 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
-	fmt.Printf("wrote %d benchmark results to %s\n", len(results), *out)
+	// In -json mode stdout carries only the delta document; the
+	// informational line moves to stderr so pipelines can parse stdout.
+	info := os.Stdout
+	if *jsonOut {
+		info = os.Stderr
+	}
+	fmt.Fprintf(info, "wrote %d benchmark results to %s\n", len(results), *out)
 
 	if *compare != "" {
 		baseline, err := readJSON(*compare)
@@ -94,26 +109,30 @@ func main() {
 			os.Exit(1)
 		}
 		regs := findRegressions(baseline, results, *threshold)
-		for _, r := range regs {
-			fmt.Printf("REGRESSION %s: %s → %s ns/op (%+.1f%%, threshold %g%%)\n",
-				r.Name, fnum(r.Old), fnum(r.New), r.Pct, *threshold)
-		}
-		if len(regs) == 0 {
-			fmt.Printf("no ns/op regressions beyond %g%% vs %s\n", *threshold, *compare)
-		}
 		aregs := findAllocRegressions(baseline, results, *allocThreshold)
-		for _, r := range aregs {
-			if r.Old == 0 {
-				fmt.Printf("ALLOC REGRESSION %s: 0 → %s allocs/op (baseline is zero-alloc)\n",
-					r.Name, fnum(r.New))
-				continue
+		if *jsonOut {
+			os.Stdout.Write(deltasJSON(buildDeltas(baseline, results, regs, aregs)))
+		} else {
+			for _, r := range regs {
+				fmt.Printf("REGRESSION %s: %s → %s ns/op (%+.1f%%, threshold %g%%)\n",
+					r.Name, fnum(r.Old), fnum(r.New), r.Pct, *threshold)
 			}
-			fmt.Printf("ALLOC REGRESSION %s: %s → %s allocs/op (%+.1f%%, threshold %g%%)\n",
-				r.Name, fnum(r.Old), fnum(r.New), r.Pct, *allocThreshold)
-		}
-		if len(aregs) == 0 {
-			fmt.Printf("no allocs/op regressions beyond %g%% on hot-path benchmarks vs %s\n",
-				*allocThreshold, *compare)
+			if len(regs) == 0 {
+				fmt.Printf("no ns/op regressions beyond %g%% vs %s\n", *threshold, *compare)
+			}
+			for _, r := range aregs {
+				if r.Old == 0 {
+					fmt.Printf("ALLOC REGRESSION %s: 0 → %s allocs/op (baseline is zero-alloc)\n",
+						r.Name, fnum(r.New))
+					continue
+				}
+				fmt.Printf("ALLOC REGRESSION %s: %s → %s allocs/op (%+.1f%%, threshold %g%%)\n",
+					r.Name, fnum(r.Old), fnum(r.New), r.Pct, *allocThreshold)
+			}
+			if len(aregs) == 0 {
+				fmt.Printf("no allocs/op regressions beyond %g%% on hot-path benchmarks vs %s\n",
+					*allocThreshold, *compare)
+			}
 		}
 		// Wall-clock regressions respect -warn-only; allocation
 		// regressions never do — allocs/op is deterministic, so a
@@ -124,13 +143,84 @@ func main() {
 	}
 }
 
+// Delta is one benchmark's old-vs-new comparison, the unit of the
+// -json output. Pass is false exactly when the prose mode would print
+// a REGRESSION or ALLOC REGRESSION line for the benchmark.
+type Delta struct {
+	Name       string
+	OldNsPerOp float64
+	NewNsPerOp float64
+	NsPct      float64
+	OldAllocs  float64
+	NewAllocs  float64
+	AllocsPct  float64
+	Pass       bool
+}
+
+// buildDeltas produces one Delta per benchmark present in both files,
+// sorted by name, with Pass derived from the already-computed
+// regression lists so the two output modes can never disagree.
+func buildDeltas(baseline, fresh map[string]Result, regs, aregs []Regression) []Delta {
+	failed := map[string]bool{}
+	for _, r := range regs {
+		failed[r.Name] = true
+	}
+	for _, r := range aregs {
+		failed[r.Name] = true
+	}
+	var ds []Delta
+	for name, nr := range fresh {
+		br, ok := baseline[name]
+		if !ok {
+			continue
+		}
+		d := Delta{
+			Name:       name,
+			OldNsPerOp: br.NsPerOp,
+			NewNsPerOp: nr.NsPerOp,
+			OldAllocs:  br.AllocsPerOp,
+			NewAllocs:  nr.AllocsPerOp,
+			Pass:       !failed[name],
+		}
+		if br.NsPerOp > 0 {
+			d.NsPct = 100 * (nr.NsPerOp - br.NsPerOp) / br.NsPerOp
+		}
+		if br.AllocsPerOp > 0 {
+			d.AllocsPct = 100 * (nr.AllocsPerOp - br.AllocsPerOp) / br.AllocsPerOp
+		}
+		ds = append(ds, d)
+	}
+	sort.Slice(ds, func(i, j int) bool { return ds[i].Name < ds[j].Name })
+	return ds
+}
+
+// deltasJSON renders deltas with the same hand-rolled stable formatting
+// as the trajectory files: sorted, fixed field order, trailing newline.
+func deltasJSON(ds []Delta) []byte {
+	var b bytes.Buffer
+	b.WriteString("[\n")
+	for i, d := range ds {
+		fmt.Fprintf(&b,
+			"  {\"name\": %q, \"old_ns_per_op\": %s, \"new_ns_per_op\": %s, \"ns_pct\": %.1f, "+
+				"\"old_allocs_per_op\": %s, \"new_allocs_per_op\": %s, \"allocs_pct\": %.1f, \"pass\": %t}",
+			d.Name, fnum(d.OldNsPerOp), fnum(d.NewNsPerOp), d.NsPct,
+			fnum(d.OldAllocs), fnum(d.NewAllocs), d.AllocsPct, d.Pass)
+		if i < len(ds)-1 {
+			b.WriteByte(',')
+		}
+		b.WriteByte('\n')
+	}
+	b.WriteString("]\n")
+	return b.Bytes()
+}
+
 // allocGated matches the hot-path benchmarks whose allocs/op are
 // hard-gated: the event engine, the packet send path, and the
 // end-to-end transfer paths that ride on them. These were driven to
 // zero (or near-zero) allocations deliberately; any growth is a
 // regression in the zero-allocation design, not noise.
 var allocGated = regexp.MustCompile(
-	`^Benchmark(EventThroughput|NetworkSend|BulkTransfer|EngineBackendOnly)`)
+	`^Benchmark(EventThroughput|NetworkSend|BulkTransfer|EngineBackendOnly|FastPath)`)
 
 // Regression is one benchmark whose cost (ns/op or allocs/op,
 // depending on which finder produced it) grew beyond the threshold.

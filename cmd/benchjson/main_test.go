@@ -1,8 +1,10 @@
 package main
 
 import (
+	"encoding/json"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 )
 
@@ -80,5 +82,90 @@ func TestJSONRoundTrip(t *testing.T) {
 	}
 	if _, err := readJSON(filepath.Join(t.TempDir(), "missing.json")); !os.IsNotExist(err) {
 		t.Errorf("missing file error = %v, want not-exist", err)
+	}
+}
+
+func TestAllocGateCoversFastPathBenches(t *testing.T) {
+	for _, name := range []string{
+		"BenchmarkFastPathTransfer",
+		"BenchmarkFastPathFallback",
+		"BenchmarkBulkTransfer",
+		"BenchmarkEventThroughput",
+	} {
+		if !allocGated.MatchString(name) {
+			t.Errorf("%s not alloc-gated", name)
+		}
+	}
+	if allocGated.MatchString("BenchmarkFig6RTTCDF") {
+		t.Error("study benches must not be alloc-gated (timing-only)")
+	}
+}
+
+func TestBuildDeltasPassFlagMatchesRegressionLists(t *testing.T) {
+	baseline := map[string]Result{
+		"BenchmarkA":                {NsPerOp: 100, AllocsPerOp: 10},
+		"BenchmarkB":                {NsPerOp: 100, AllocsPerOp: 10},
+		"BenchmarkFastPathTransfer": {NsPerOp: 100, AllocsPerOp: 0},
+		"BenchmarkOnlyOld":          {NsPerOp: 100},
+	}
+	fresh := map[string]Result{
+		"BenchmarkA":                {NsPerOp: 150, AllocsPerOp: 10}, // ns regression
+		"BenchmarkB":                {NsPerOp: 90, AllocsPerOp: 9},   // improvement
+		"BenchmarkFastPathTransfer": {NsPerOp: 100, AllocsPerOp: 1},  // zero-alloc violation
+		"BenchmarkOnlyNew":          {NsPerOp: 100},
+	}
+	regs := findRegressions(baseline, fresh, 15)
+	aregs := findAllocRegressions(baseline, fresh, 10)
+	ds := buildDeltas(baseline, fresh, regs, aregs)
+
+	if len(ds) != 3 {
+		t.Fatalf("deltas = %+v, want 3 records (only benches in both files)", ds)
+	}
+	want := map[string]bool{
+		"BenchmarkA":                false,
+		"BenchmarkB":                true,
+		"BenchmarkFastPathTransfer": false,
+	}
+	for _, d := range ds {
+		if d.Pass != want[d.Name] {
+			t.Errorf("%s: pass = %v, want %v", d.Name, d.Pass, want[d.Name])
+		}
+	}
+	for i := 1; i < len(ds); i++ {
+		if ds[i-1].Name >= ds[i].Name {
+			t.Fatalf("deltas not sorted: %s before %s", ds[i-1].Name, ds[i].Name)
+		}
+	}
+}
+
+func TestDeltasJSONIsValidAndStable(t *testing.T) {
+	ds := []Delta{
+		{Name: "BenchmarkA", OldNsPerOp: 100, NewNsPerOp: 150, NsPct: 50,
+			OldAllocs: 10, NewAllocs: 10, Pass: false},
+		{Name: "BenchmarkB", OldNsPerOp: 100, NewNsPerOp: 90, NsPct: -10,
+			OldAllocs: 10, NewAllocs: 9, AllocsPct: -10, Pass: true},
+	}
+	out := deltasJSON(ds)
+	var parsed []map[string]interface{}
+	if err := json.Unmarshal(out, &parsed); err != nil {
+		t.Fatalf("output not valid JSON: %v\n%s", err, out)
+	}
+	if len(parsed) != 2 {
+		t.Fatalf("parsed %d records", len(parsed))
+	}
+	if parsed[0]["name"] != "BenchmarkA" || parsed[0]["pass"] != false {
+		t.Fatalf("record 0 = %v", parsed[0])
+	}
+	if parsed[1]["ns_pct"].(float64) != -10 {
+		t.Fatalf("record 1 ns_pct = %v", parsed[1]["ns_pct"])
+	}
+	if !strings.HasSuffix(string(out), "]\n") {
+		t.Fatal("output missing trailing newline")
+	}
+	if string(deltasJSON(ds)) != string(out) {
+		t.Fatal("output not deterministic")
+	}
+	if string(deltasJSON(nil)) != "[\n]\n" {
+		t.Fatalf("empty deltas = %q", deltasJSON(nil))
 	}
 }

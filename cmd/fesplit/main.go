@@ -112,18 +112,28 @@ func cmdReport(args []string) error {
 	}
 	study := fesplit.NewStudy(cfg)
 	if *fig == "all" {
-		rep, err := study.RunAll()
+		// Observed run: the Report is identical to RunAll's (observation
+		// never perturbs the simulations), and the registry lets the
+		// HTML page carry the metrics sections — including the
+		// fast-forward engine's gauges.
+		out, err := study.RunAllObserved()
 		if err != nil {
 			return err
 		}
+		rep := out.Report
 		if *csvDir != "" {
 			if err := rep.WriteCSVs(*csvDir); err != nil {
 				return err
 			}
 			fmt.Fprintf(os.Stderr, "CSV figure data written to %s\n", *csvDir)
 		}
-		if err := writeReportHTML(rep, *htmlFile); err != nil {
+		if err := writeReportHTMLObserved(rep, *htmlFile, out.Metrics, out.Exemplars); err != nil {
 			return err
+		}
+		if u, ok := fesplit.FastPathUsageFrom(out.Metrics); ok {
+			fmt.Fprintf(os.Stderr,
+				"fast path: %.0f epochs, %.0f bytes bypassed the event heap, %.0f fallbacks (busiest cell)\n",
+				u.Epochs, u.Bytes, u.Fallbacks)
 		}
 		return rep.WriteText(os.Stdout)
 	}
@@ -166,6 +176,12 @@ func cmdReport(args []string) error {
 
 // writeReportHTML renders the report's HTML page when a path was given.
 func writeReportHTML(rep *fesplit.Report, path string) error {
+	return writeReportHTMLObserved(rep, path, nil, nil)
+}
+
+// writeReportHTMLObserved is writeReportHTML plus the optional metrics
+// and exemplar sections.
+func writeReportHTMLObserved(rep *fesplit.Report, path string, reg *fesplit.MetricsRegistry, ex []fesplit.Exemplar) error {
 	if path == "" {
 		return nil
 	}
@@ -173,7 +189,7 @@ func writeReportHTML(rep *fesplit.Report, path string) error {
 	if err != nil {
 		return err
 	}
-	if err := rep.WriteHTML(f, nil, nil); err != nil {
+	if err := rep.WriteHTML(f, reg, ex); err != nil {
 		f.Close()
 		return err
 	}

@@ -174,6 +174,47 @@ func MergeTailSamplers(shards ...*TailSampler) *TailSampler {
 	return obs.MergeTailSamplers(shards...)
 }
 
+// FastPathUsage summarizes the flow-level fast-forward engine's
+// activity as recorded in a metrics registry: epochs entered by
+// connections, wire bytes whose deliveries bypassed the global event
+// heap, and epochs abandoned back to the packet path. After a shard
+// merge the values are the busiest study cell's snapshot (gauges merge
+// by max), which is what the report surfaces.
+type FastPathUsage struct {
+	Epochs    float64
+	Bytes     float64
+	Fallbacks float64
+}
+
+// FastPathUsageFrom extracts the fastpath_* gauge trio from a registry.
+// ok is false when the registry carries no fast-path gauges (nil
+// registry, or a metrics dump predating the fast-forward engine).
+func FastPathUsageFrom(reg *MetricsRegistry) (u FastPathUsage, ok bool) {
+	for _, f := range reg.Families() {
+		if f.Kind != obs.KindGauge {
+			continue
+		}
+		var dst *float64
+		switch f.Name {
+		case "fastpath_epochs":
+			dst = &u.Epochs
+		case "fastpath_bytes":
+			dst = &u.Bytes
+		case "fastpath_fallbacks":
+			dst = &u.Fallbacks
+		default:
+			continue
+		}
+		for _, s := range f.Series() {
+			if s.Gauge != nil {
+				*dst = s.Gauge.Value()
+				ok = true
+			}
+		}
+	}
+	return u, ok
+}
+
 // WriteMetricsJSONL dumps a registry as one JSON object per series —
 // lossless (unlike the Prometheus text view, sketches keep their
 // buckets) and byte-deterministic.

@@ -1,0 +1,96 @@
+package httpsim
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"fesplit/internal/simnet"
+	"fesplit/internal/tcpsim"
+)
+
+// keepAliveScenario drives a persistent (keep-alive) client connection
+// through a pipeline of requests while the server enforces an idle
+// expiry: at a fuzz-chosen instant it closes the connection, which can
+// land between responses, mid-response, or mid-fast-epoch (the
+// connection teardown bumps the endpoint's demux generation, forcing
+// the fast lane's cached resolution to fall back). The observable
+// transcript — per-request completion or truncation, each with its
+// sim-time stamp — must be identical with the fast path on and off.
+func keepAliveScenario(fast bool, seed int64, nReq, respKB int, expiry, spacing time.Duration) string {
+	sim := simnet.New(seed)
+	n := simnet.NewNetwork(sim)
+	n.SetLink("fe", "be", simnet.PathParams{Delay: 8 * time.Millisecond, Bandwidth: 5e6})
+	n.SetFastPathEnabled(fast)
+	fe := tcpsim.NewEndpoint(n, "fe", tcpsim.Config{})
+	be := tcpsim.NewEndpoint(n, "be", tcpsim.Config{})
+
+	body := make([]byte, respKB<<10)
+	for i := range body {
+		body[i] = byte(i)
+	}
+	var srvConn *tcpsim.Conn
+	if _, err := NewServer(be, 80, func(w *ResponseWriter, r *Request) {
+		srvConn = w.Conn()
+		w.WriteHeader(200, ContentLengthHeader(len(body)))
+		w.Write(body)
+		w.End()
+	}); err != nil {
+		panic(err)
+	}
+	// Keep-alive expiry: the server drops the connection at the deadline
+	// regardless of what is in flight, like a real idle timer that was
+	// armed before the last burst arrived.
+	sim.Schedule(expiry, func() {
+		if srvConn != nil {
+			srvConn.Close()
+		}
+	})
+
+	var log []string
+	pc := NewPersistentConn(fe, "be", 80)
+	for i := 0; i < nReq; i++ {
+		i := i
+		req := NewGet("be", fmt.Sprintf("/q/%d", i))
+		issue := func() {
+			pc.Do(req, ResponseCallbacks{
+				OnDone: func(r *Response) {
+					log = append(log, fmt.Sprintf("%d done %d bytes at %v", i, len(r.Body), sim.Now()))
+				},
+				OnError: func(err error) {
+					log = append(log, fmt.Sprintf("%d error %v at %v", i, err, sim.Now()))
+				},
+			})
+		}
+		if i == 0 {
+			issue()
+		} else {
+			sim.Schedule(time.Duration(i)*spacing, issue)
+		}
+	}
+	sim.Run()
+	return fmt.Sprintf("%v final=%v", log, sim.Now())
+}
+
+// FuzzKeepAliveExpiry varies the expiry instant, pipeline depth,
+// response size and spacing. The seed corpus pins the interesting
+// alignments: expiry mid-epoch (while response segments are still
+// fast-forwarding), between responses, and before the first request.
+func FuzzKeepAliveExpiry(f *testing.F) {
+	f.Add(int64(1), uint8(4), uint8(16), uint16(40), uint8(10)) // mid-epoch: cuts response 2's segment stream
+	f.Add(int64(2), uint8(3), uint8(4), uint16(25), uint8(20))  // between responses
+	f.Add(int64(3), uint8(2), uint8(64), uint16(5), uint8(5))   // before first response header
+	f.Add(int64(4), uint8(6), uint8(1), uint16(500), uint8(1))  // expiry after pipeline drains
+	f.Add(int64(5), uint8(5), uint8(32), uint16(60), uint8(0))  // burst pipeline, expiry mid-stream
+	f.Fuzz(func(t *testing.T, seed int64, nReq, respKB uint8, expiryMs uint16, spacingMs uint8) {
+		reqs := 1 + int(nReq)%8
+		kb := int(respKB) % 65 // up to 64KB responses
+		expiry := time.Duration(1+int(expiryMs)%600) * time.Millisecond
+		spacing := time.Duration(int(spacingMs)%40) * time.Millisecond
+		fastLog := keepAliveScenario(true, seed, reqs, kb, expiry, spacing)
+		slowLog := keepAliveScenario(false, seed, reqs, kb, expiry, spacing)
+		if fastLog != slowLog {
+			t.Fatalf("keep-alive expiry transcripts diverged\nfast:   %s\npacket: %s", fastLog, slowLog)
+		}
+	})
+}

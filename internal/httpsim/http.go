@@ -213,6 +213,31 @@ func (p *responseParser) emitBody(data []byte) {
 
 // feed appends stream data, invoking callbacks as parsing progresses.
 func (p *responseParser) feed(data []byte) error {
+	// Mid-body with an empty carry buffer: consume straight from the
+	// caller's slice instead of staging through p.buf. Body bytes
+	// dominate stream volume, so this skips a buffer copy of nearly
+	// every payload byte (chunked framing still stages, as it has to
+	// scan for chunk boundaries).
+	if p.cur != nil && !p.chunked && p.buf.Len() == 0 && len(data) > 0 {
+		if p.untilClose {
+			p.emitBody(data)
+			return nil
+		}
+		n := len(data)
+		if n > p.need {
+			n = p.need
+		}
+		p.emitBody(data[:n])
+		data = data[n:]
+		p.need -= n
+		if p.need > 0 {
+			return nil
+		}
+		p.finish()
+		if len(data) == 0 {
+			return nil
+		}
+	}
 	p.buf.Write(data)
 	for {
 		if p.cur == nil {
@@ -240,6 +265,12 @@ func (p *responseParser) feed(data []byte) error {
 					}
 					p.need = n
 					p.untilClose = false
+					if n > 0 {
+						// One exact allocation up front; the per-fragment
+						// emitBody appends then never grow (growslice on
+						// Body was a top allocator in full-study profiles).
+						resp.Body = make([]byte, 0, n)
+					}
 				} else {
 					p.untilClose = true
 				}

@@ -89,6 +89,18 @@ func (n *Network) ExportMetrics(reg *obs.Registry) {
 	if reg == nil {
 		return
 	}
+
+	// Fast-forward engine activity: how much traffic bypassed the event
+	// heap, and how often connections entered/abandoned analytic epochs.
+	// Gauges (snapshots), same merge semantics as the per-path counters.
+	fs := n.FastPathStats()
+	reg.Gauge("fastpath_epochs", "fast-forwarded epochs entered by connections (snapshot)").
+		Set(float64(fs.Epochs))
+	reg.Gauge("fastpath_bytes", "wire bytes carried by heap-bypassing segments (snapshot)").
+		Set(float64(fs.Bytes))
+	reg.Gauge("fastpath_fallbacks", "epochs abandoned back to the packet path (snapshot)").
+		Set(float64(fs.Fallbacks))
+
 	sent := reg.GaugeVec("net_path_packets", "packets sent per directed path (snapshot)", "from", "to")
 	dropped := reg.GaugeVec("net_path_dropped", "packets dropped per directed path (snapshot)", "from", "to")
 	bytes := reg.GaugeVec("net_path_bytes", "bytes sent per directed path (snapshot)", "from", "to")

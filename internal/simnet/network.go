@@ -81,6 +81,21 @@ type Network struct {
 	hosts    map[HostID]Handler
 	paths    map[pathKey]*path
 	defaults PathParams
+
+	// version is bumped on every topology mutation (SetPath, Attach,
+	// Detach, …) and invalidates outstanding PathHandles; holders
+	// re-resolve through FastPath on mismatch.
+	version uint64
+	// fastOff disables FastPath entirely (differential testing).
+	fastOff bool
+
+	// Fast-path accounting: segments/bytes that bypassed the global
+	// event heap, epochs entered and fallbacks taken by connections.
+	// Exported as the fastpath_* gauges by ExportMetrics.
+	fastSegs      uint64
+	fastBytes     uint64
+	fastEpochs    uint64
+	fastFallbacks uint64
 }
 
 // NewNetwork creates an empty network on the given simulator.
@@ -97,19 +112,30 @@ func (n *Network) Sim() *Sim { return n.sim }
 
 // Attach registers (or replaces) the handler for a host.
 func (n *Network) Attach(id HostID, h Handler) {
+	n.version++
 	n.hosts[id] = h
 }
 
 // Detach removes a host; packets in flight to it are dropped on arrival.
-func (n *Network) Detach(id HostID) { delete(n.hosts, id) }
+func (n *Network) Detach(id HostID) {
+	n.version++
+	delete(n.hosts, id)
+}
+
+// Handler returns the attached handler for a host (nil when detached).
+func (n *Network) Handler(id HostID) Handler { return n.hosts[id] }
 
 // SetDefaultPath sets parameters used for host pairs without an explicit
 // SetPath call.
-func (n *Network) SetDefaultPath(p PathParams) { n.defaults = p }
+func (n *Network) SetDefaultPath(p PathParams) {
+	n.version++
+	n.defaults = p
+}
 
 // SetPath configures the directed path from → to. Call twice (swapped)
 // for a bidirectional link, or use SetLink.
 func (n *Network) SetPath(from, to HostID, p PathParams) {
+	n.version++
 	n.paths[pathKey{from, to}] = newPath(p)
 }
 
@@ -150,11 +176,28 @@ func (n *Network) pathState(from, to HostID) *path {
 // immediately; it never blocks.
 func (n *Network) Send(pkt Packet) {
 	p := n.pathState(pkt.From, pkt.To)
+	arrival, dropped := n.admit(p, pkt.Size)
+	if dropped {
+		return
+	}
+	// The packet rides in the event by value — no closure, no per-send
+	// allocation (the delivery benchmark gates this at 0 allocs/op).
+	n.sim.schedulePacket(arrival, n, pkt)
+}
+
+// admit runs the path's per-packet state machine — loss draw,
+// serialization/queueing, propagation, jitter draw, FIFO clamp — and
+// returns the packet's arrival time (or dropped). This is the single
+// source of truth for transmission timing: Send and PathHandle.Transmit
+// both go through it, so a segment bypassing the event heap gets the
+// same arrival, the same counter updates, and — crucially — the same
+// PRNG draws in the same order as a heap-scheduled one.
+func (n *Network) admit(p *path, size int) (arrival Time, dropped bool) {
 	p.sent++
-	p.bytes += uint64(pkt.Size)
+	p.bytes += uint64(size)
 	if m := n.sim.metrics; m != nil {
 		m.PacketsSent.Inc()
-		m.BytesSent.Add(float64(pkt.Size))
+		m.BytesSent.Add(float64(size))
 	}
 
 	if p.gilbert != nil {
@@ -163,31 +206,29 @@ func (n *Network) Send(pkt Packet) {
 			if m := n.sim.metrics; m != nil {
 				m.PacketsDropped.Inc()
 			}
-			return
+			return 0, true
 		}
 	} else if p.params.LossRate > 0 && n.sim.Rand().Float64() < p.params.LossRate {
 		p.dropped++
 		if m := n.sim.metrics; m != nil {
 			m.PacketsDropped.Inc()
 		}
-		return
+		return 0, true
 	}
-
-	now := n.sim.Now()
 
 	// Serialization / queueing: the link transmits packets one at a
 	// time at Bandwidth bytes/sec.
-	start := now
+	start := n.sim.Now()
 	if start < p.busyUntil {
 		start = p.busyUntil
 	}
 	var ser time.Duration
-	if p.params.Bandwidth > 0 && pkt.Size > 0 {
-		ser = time.Duration(float64(pkt.Size) / p.params.Bandwidth * float64(time.Second))
+	if p.params.Bandwidth > 0 && size > 0 {
+		ser = time.Duration(float64(size) / p.params.Bandwidth * float64(time.Second))
 	}
 	p.busyUntil = start + ser
 
-	arrival := p.busyUntil + p.params.Delay
+	arrival = p.busyUntil + p.params.Delay
 	if p.params.Jitter > 0 {
 		arrival += time.Duration(n.sim.Rand().Int63n(int64(p.params.Jitter)))
 	}
@@ -196,10 +237,89 @@ func (n *Network) Send(pkt Packet) {
 		arrival = p.lastArrival
 	}
 	p.lastArrival = arrival
+	return arrival, false
+}
 
-	// The packet rides in the event by value — no closure, no per-send
-	// allocation (the delivery benchmark gates this at 0 allocs/op).
-	n.sim.schedulePacket(arrival, n, pkt)
+// PathHandle is a revocable capability to transmit on one loss-free
+// directed path without going through the event heap. The zero value is
+// invalid. Holders must check Valid before each use: any topology
+// mutation revokes every outstanding handle, after which the holder
+// re-resolves via FastPath (and may find the path no longer qualifies).
+type PathHandle struct {
+	n       *Network
+	p       *path
+	version uint64
+}
+
+// Valid reports whether the handle still reflects the network topology.
+func (h PathHandle) Valid() bool { return h.p != nil && h.version == h.n.version }
+
+// Version returns the topology version; it changes whenever outstanding
+// PathHandles are revoked. Callers that failed to obtain a handle can
+// cache the refusal against this value — every reason FastPath refuses
+// is stable until the topology next mutates.
+func (n *Network) Version() uint64 { return n.version }
+
+// Transmit admits one packet of the given size on the handle's path and
+// returns its arrival time. Timing, counters and PRNG draws are exactly
+// those of Network.Send for the same packet; only the heap scheduling
+// is left to the caller's lane.
+func (h PathHandle) Transmit(size int) Time {
+	arrival, _ := h.n.admit(h.p, size) // never drops: FastPath refuses lossy paths
+	h.n.fastSegs++
+	h.n.fastBytes += uint64(size)
+	return arrival
+}
+
+// FastPath resolves a handle for the directed path from → to, or an
+// invalid handle when the path is ineligible: configured with a loss
+// process (every send then needs a drop decision the packet path makes
+// per-event), or fast-forwarding disabled on this network.
+func (n *Network) FastPath(from, to HostID) PathHandle {
+	if n.fastOff {
+		return PathHandle{}
+	}
+	p := n.pathState(from, to)
+	if p.params.LossRate > 0 || p.gilbert != nil {
+		return PathHandle{}
+	}
+	return PathHandle{n: n, p: p, version: n.version}
+}
+
+// SetFastPathEnabled toggles FastPath resolution (enabled by default).
+// Disabling revokes outstanding handles, forcing every transfer back to
+// the packet-level path — the differential equivalence tests run each
+// scenario both ways and require identical observable behaviour.
+func (n *Network) SetFastPathEnabled(on bool) {
+	n.version++
+	n.fastOff = !on
+}
+
+// NoteFastEpoch records a connection entering a fast-forwarded epoch
+// (its segments start bypassing the event heap).
+func (n *Network) NoteFastEpoch() { n.fastEpochs++ }
+
+// NoteFastFallback records a connection falling back to the packet
+// path mid-stream (loss appeared, topology changed, or its peer state
+// could no longer be resolved).
+func (n *Network) NoteFastFallback() { n.fastFallbacks++ }
+
+// FastPathStats reports cumulative fast-path activity.
+type FastPathStats struct {
+	Epochs    uint64 // epochs entered by connections
+	Segments  uint64 // segments that bypassed the event heap
+	Bytes     uint64 // wire bytes carried by those segments
+	Fallbacks uint64 // epochs abandoned back to the packet path
+}
+
+// FastPathStats returns cumulative fast-path counters.
+func (n *Network) FastPathStats() FastPathStats {
+	return FastPathStats{
+		Epochs:    n.fastEpochs,
+		Segments:  n.fastSegs,
+		Bytes:     n.fastBytes,
+		Fallbacks: n.fastFallbacks,
+	}
 }
 
 // deliverNow hands pkt to its destination's handler, the delivery half

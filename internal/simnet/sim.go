@@ -119,6 +119,26 @@ func (q *eventQueue) siftDown() {
 	}
 }
 
+// FastLane is an auxiliary event source merged into the scheduler's
+// dispatch loop. A lane owns events the simulator never sees as heap
+// entries — typed, pre-resolved work the lane dispatches itself — but
+// every lane event still carries a (time, seq) pair drawn from the
+// simulator's sequence space (TakeSeq), so the merged pop order across
+// the main heap and the lane is the same total order a single heap
+// would produce. That property is what lets the TCP fast path bypass
+// the global heap while remaining bit-identical to the packet path;
+// see docs/PERF.md.
+type FastLane interface {
+	// Head returns the next lane event's (time, seq); ok is false when
+	// the lane is empty.
+	Head() (at Time, seq uint64, ok bool)
+	// RunHead pops and executes the head event. The scheduler has
+	// already advanced the clock to the event's time.
+	RunHead()
+	// Len returns the number of pending lane events (for Pending).
+	Len() int
+}
+
 // Sim is a discrete-event simulator. Create one with New; it is not safe
 // for concurrent use — the simulation is single-threaded by design, which
 // is what makes it deterministic.
@@ -127,6 +147,7 @@ type Sim struct {
 	events eventQueue
 	seq    uint64
 	rng    *rand.Rand
+	fast   FastLane
 
 	// Processed counts events executed, a cheap progress/debug metric.
 	Processed uint64
@@ -150,6 +171,24 @@ func (s *Sim) Now() Time { return s.now }
 
 // Rand returns the simulator's deterministic PRNG.
 func (s *Sim) Rand() *rand.Rand { return s.rng }
+
+// AttachFastLane registers the auxiliary event lane. One lane per
+// simulator; attaching replaces any previous lane, so callers must
+// check FastLane first and share the existing one.
+func (s *Sim) AttachFastLane(l FastLane) { s.fast = l }
+
+// FastLane returns the attached lane (nil when none).
+func (s *Sim) FastLane() FastLane { return s.fast }
+
+// TakeSeq consumes and returns the next sequence number without
+// scheduling anything. Lane events and lazily-scheduled timers draw
+// their tie-break seq here at the instant the eager implementation
+// would have called Schedule, which keeps same-instant ordering against
+// ordinary heap events bit-identical.
+func (s *Sim) TakeSeq() uint64 {
+	s.seq++
+	return s.seq
+}
 
 // Schedule runs fn after the given delay of virtual time. Negative delays
 // are treated as zero (run "now", after currently queued same-time events).
@@ -187,8 +226,24 @@ const depthSampleInterval = 1024
 
 // enqueue stamps the next sequence number and pushes e.
 func (s *Sim) enqueue(e event) {
-	s.seq++
-	e.seq = s.seq
+	e.seq = s.TakeSeq()
+	s.push(e)
+}
+
+// ScheduleAtSeq runs fn at the given absolute time under a sequence
+// number previously drawn with TakeSeq (and not yet pushed). The lazy
+// RTO timers use this to materialize a deadline event in exactly the
+// (at, seq) heap slot the eager implementation's Schedule call claimed
+// at arm time.
+func (s *Sim) ScheduleAtSeq(at Time, seq uint64, fn func()) {
+	if at < s.now {
+		at = s.now
+	}
+	s.push(event{at: at, seq: seq, fn: fn})
+}
+
+// push inserts an already-stamped event and maintains depth tracking.
+func (s *Sim) push(e event) {
 	s.events.push(e)
 	if d := s.events.len(); d > s.maxDepth {
 		s.maxDepth = d
@@ -201,9 +256,35 @@ func (s *Sim) enqueue(e event) {
 	}
 }
 
-// Step executes the next pending event, advancing the clock to its time.
-// It reports whether an event was executed.
+// fastHeadBefore reports whether the fast lane's head event orders
+// ahead of the main heap's head (or the heap is empty). Only valid when
+// the lane reported ok.
+func (s *Sim) fastHeadBefore(at Time, seq uint64) bool {
+	if s.events.len() == 0 {
+		return true
+	}
+	h := s.events.head()
+	if at != h.at {
+		return at < h.at
+	}
+	return seq < h.seq
+}
+
+// Step executes the next pending event — from the main heap or the fast
+// lane, whichever is earlier in (time, seq) order — advancing the clock
+// to its time. It reports whether an event was executed.
 func (s *Sim) Step() bool {
+	if l := s.fast; l != nil {
+		if at, seq, ok := l.Head(); ok && s.fastHeadBefore(at, seq) {
+			s.now = at
+			s.Processed++
+			if m := s.metrics; m != nil {
+				m.Executed.Inc()
+			}
+			l.RunHead()
+			return true
+		}
+	}
 	if s.events.len() == 0 {
 		return false
 	}
@@ -229,7 +310,7 @@ func (s *Sim) Run() {
 
 // RunUntil executes events with time ≤ t, then advances the clock to t.
 func (s *Sim) RunUntil(t Time) {
-	for s.events.len() > 0 && s.events.head().at <= t {
+	for s.nextAt(t) {
 		s.Step()
 	}
 	if s.now < t {
@@ -237,11 +318,31 @@ func (s *Sim) RunUntil(t Time) {
 	}
 }
 
+// nextAt reports whether any pending event (heap or fast lane) is due
+// at or before t.
+func (s *Sim) nextAt(t Time) bool {
+	if s.events.len() > 0 && s.events.head().at <= t {
+		return true
+	}
+	if l := s.fast; l != nil {
+		if at, _, ok := l.Head(); ok && at <= t {
+			return true
+		}
+	}
+	return false
+}
+
 // RunFor executes events for d of virtual time from now.
 func (s *Sim) RunFor(d Time) { s.RunUntil(s.now + d) }
 
-// Pending returns the number of queued events.
-func (s *Sim) Pending() int { return s.events.len() }
+// Pending returns the number of queued events, fast-lane events included.
+func (s *Sim) Pending() int {
+	n := s.events.len()
+	if l := s.fast; l != nil {
+		n += l.Len()
+	}
+	return n
+}
 
 // MaxPending returns the deepest the event queue has been.
 func (s *Sim) MaxPending() int { return s.maxDepth }

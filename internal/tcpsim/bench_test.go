@@ -35,6 +35,75 @@ func BenchmarkBulkTransfer(b *testing.B) {
 	}
 }
 
+// BenchmarkFastPathTransfer measures the fast-forward engine in
+// isolation: the same clean 1 MB transfer as BulkTransfer, but without
+// SetBytes so `go test -benchmem` reports allocs/op in a form the
+// benchjson parser ingests (a MB/s column would sit between ns/op and
+// B/op and defeat its line regexp) — this is the benchmark the
+// allocs/op hard gate watches for the fast path.
+func BenchmarkFastPathTransfer(b *testing.B) {
+	payload := make([]byte, 1<<20)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sim := simnet.New(int64(i))
+		n := simnet.NewNetwork(sim)
+		n.SetLink("c", "s", simnet.PathParams{Delay: 10 * time.Millisecond})
+		client := NewEndpoint(n, "c", Config{})
+		server := NewEndpoint(n, "s", Config{})
+		if _, err := server.Listen(80, func(c *Conn) {
+			c.Send(payload)
+			c.Close()
+		}); err != nil {
+			b.Fatal(err)
+		}
+		got := 0
+		conn := client.Dial("s", 80)
+		conn.OnData = func(d []byte) { got += len(d) }
+		conn.OnClose = func() { conn.Close() }
+		sim.Run()
+		if got != len(payload) {
+			b.Fatalf("incomplete: %d", got)
+		}
+		if st := n.FastPathStats(); st.Segments == 0 {
+			b.Fatal("fast path inactive; benchmark measures the wrong lane")
+		}
+	}
+}
+
+// BenchmarkFastPathFallback measures the epoch-abandonment cost: the
+// transfer starts clean (fast-forwarding) and the path turns lossy
+// mid-stream, forcing the fallback transition plus packet-path
+// recovery for the remainder.
+func BenchmarkFastPathFallback(b *testing.B) {
+	payload := make([]byte, 256<<10)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sim := simnet.New(int64(i))
+		n := simnet.NewNetwork(sim)
+		clean := simnet.PathParams{Delay: 10 * time.Millisecond}
+		n.SetLink("c", "s", clean)
+		client := NewEndpoint(n, "c", Config{SACK: true})
+		server := NewEndpoint(n, "s", Config{SACK: true})
+		if _, err := server.Listen(80, func(c *Conn) {
+			c.Send(payload)
+			c.Close()
+		}); err != nil {
+			b.Fatal(err)
+		}
+		sim.Schedule(40*time.Millisecond, func() {
+			n.SetPath("s", "c", simnet.PathParams{Delay: 10 * time.Millisecond, LossRate: 0.02})
+		})
+		got := 0
+		conn := client.Dial("s", 80)
+		conn.OnData = func(d []byte) { got += len(d) }
+		conn.OnClose = func() { conn.Close() }
+		sim.Run()
+		if got != len(payload) {
+			b.Fatalf("incomplete: %d", got)
+		}
+	}
+}
+
 // BenchmarkLossyTransfer measures recovery-path cost: 256 KB at 2%
 // loss with SACK.
 func BenchmarkLossyTransfer(b *testing.B) {

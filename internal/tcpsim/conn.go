@@ -82,8 +82,33 @@ type Conn struct {
 	timedSeq   uint64 // ack that completes the timed sample
 	timedAt    time.Duration
 	timedValid bool
-	timerGen   uint64
 	timerArmed bool
+
+	// Lazy RTO timer. Arming records the deadline and reserves a heap
+	// sequence number but usually schedules nothing: a single pending
+	// check event (tracked in timerEvs) covers successive re-arms, and
+	// re-materializes itself at exactly (timerDeadline, timerSeq) — the
+	// heap slot an eager per-arm Schedule would have claimed — when it
+	// pops early. This removes the per-ACK closure allocation and heap
+	// push of the eager scheme while keeping RTO fires bit-identical.
+	timerDeadline time.Duration
+	timerSeq      uint64
+	timerFn       func()    // pre-bound timerCheck, allocated once
+	timerEvs      []timerEv // pending check events, time-descending
+
+	// Fast-lane cache: the outgoing path handle, the peer's connection
+	// and this connection's delivery ring, resolved once per epoch and
+	// revalidated by cheap generation compares per segment (see
+	// fastEligible).
+	fwdPath   simnet.PathHandle
+	peer      *Conn // nil on a half-resolved (full-demux) ring
+	peerEp    *Endpoint
+	peerGen   uint64 // peerEp.demuxGen at resolution
+	lane      *fastLane
+	ring      *fastRing
+	fastLane  bool   // currently inside a fast-forwarded epoch
+	fastNo    bool   // resolution refused; don't retry until the topology changes
+	fastNoVer uint64 // topology version the refusal was observed under
 
 	// --- receive side ---
 	rcvNxt   uint64
@@ -370,7 +395,142 @@ func (c *Conn) payload(seq, n uint64) []byte {
 
 func (c *Conn) transmit(s Segment) {
 	c.bytesSent += uint64(len(s.Data))
+	if c.fastEligible() {
+		c.fastSend(s)
+		return
+	}
+	if c.fastLane {
+		c.fastLane = false
+		c.ep.net.NoteFastFallback()
+	}
 	c.ep.send(c.remote, s)
+}
+
+// fastEligible reports whether this segment can bypass the event heap:
+// the outgoing path is loss-free and the peer endpoint's stack is
+// directly reachable. Handshake segments qualify too — a peer whose
+// connection object is not resolvable yet (the initial SYN precedes its
+// creation) rides a half-resolved ring whose deliveries take the full
+// Deliver demux, which handles listener accept exactly as a heap-
+// scheduled packet would.
+//
+// The steady-state cost is two generation compares; resolution runs on
+// the first segment of an epoch or after a topology/demux change
+// invalidated the cache, and refusals are cached against the topology
+// version (every refusal reason is stable until the topology mutates).
+func (c *Conn) fastEligible() bool {
+	if c.st == stateClosed {
+		return false
+	}
+	if !c.fwdPath.Valid() {
+		if c.fastNo && c.fastNoVer == c.ep.net.Version() {
+			return false
+		}
+		return c.resolveFast()
+	}
+	if c.peer == nil {
+		// Half-resolved: upgrade to direct dispatch when the peer's
+		// connection appears; deliveries stay correct either way.
+		c.resolvePeer()
+		return true
+	}
+	if c.peerEp.demuxGen != c.peerGen && !c.resolvePeer() {
+		// The peer's connection left the demux table. Demote to the
+		// full-demux ring: the packet path would deliver into the same
+		// vanished-connection drop, and Deliver reproduces it.
+		c.peer = nil
+		c.ring = &fastRing{dstEp: c.peerEp, from: c.ep.host}
+	}
+	return true
+}
+
+// resolveFast (re)derives the fast-lane cache. Failure leaves the
+// connection on the packet path until the topology version changes.
+func (c *Conn) resolveFast() bool {
+	net := c.ep.net
+	h := net.FastPath(c.ep.host, c.remote)
+	if !h.Valid() {
+		return c.noFast()
+	}
+	lane := laneFor(c.ep.Sim())
+	if lane == nil {
+		return c.noFast()
+	}
+	ep, ok := net.Handler(c.remote).(*Endpoint)
+	if !ok {
+		return c.noFast()
+	}
+	c.peerEp = ep
+	if !c.resolvePeer() {
+		c.peer = nil
+		c.ring = &fastRing{dstEp: ep, from: c.ep.host}
+	}
+	c.fwdPath = h
+	c.lane = lane
+	c.fastNo = false
+	return true
+}
+
+func (c *Conn) noFast() bool {
+	c.fastNo = true
+	c.fastNoVer = c.ep.net.Version()
+	return false
+}
+
+// resolvePeer locates the peer's connection object through its
+// endpoint's demux table — the same lookup a delivered packet performs,
+// done once and cached under the table's generation counter — and keeps
+// the delivery ring pointed at it. c.peerEp must be set.
+func (c *Conn) resolvePeer() bool {
+	ep := c.peerEp
+	peer, ok := ep.conns[connKey{c.ep.host, c.localPort, c.remotePort}]
+	if !ok {
+		return false
+	}
+	c.peer = peer
+	c.peerGen = ep.demuxGen
+	if c.ring == nil || c.ring.dst != peer || c.ring.dstEp != ep {
+		// First epoch, or the demux key resolved to a new connection
+		// object: start a fresh ring and let any old one drain. A ring
+		// must never mix destinations.
+		c.ring = &fastRing{dst: peer, dstEp: ep, from: c.ep.host}
+	}
+	c.ring.dstGen = c.peerGen
+	return true
+}
+
+// fastSend transmits one segment through the fast lane: identical tap
+// and metrics effects to Endpoint.send, arrival computed by the shared
+// path state machine, delivery queued on the lane under a sequence
+// number drawn exactly where Network.Send's heap push would have drawn
+// it. See docs/PERF.md for why the result is bit-identical to the
+// packet path.
+func (c *Conn) fastSend(s Segment) {
+	e := c.ep
+	if !c.fastLane {
+		c.fastLane = true
+		e.net.NoteFastEpoch()
+	}
+	if e.Tap != nil {
+		e.Tap(TapEvent{Time: e.Sim().Now(), Dir: DirSend, Remote: string(c.remote), Segment: s})
+	}
+	if m := e.Metrics; m != nil {
+		m.SegsSent.Inc()
+		if s.Retrans {
+			m.Retransmits.Inc()
+		}
+	}
+	arrival := c.fwdPath.Transmit(e.cfg.HeaderSize + len(s.Data))
+	r := c.ring
+	if r.n > 0 && arrival < r.tailAt {
+		// Arrival regressed below an event already queued: a SetPath
+		// reset the path's FIFO clamp mid-flight. Rings must stay
+		// monotone, so start a fresh one; the heap merge orders the
+		// overlap exactly as the global heap would have.
+		r = &fastRing{dst: r.dst, dstEp: r.dstEp, dstGen: r.dstGen, from: r.from}
+		c.ring = r
+	}
+	c.lane.enqueue(r, fastEvent{at: arrival, seq: e.Sim().TakeSeq(), seg: s})
 }
 
 // sendSYN begins the client handshake.
@@ -418,19 +578,79 @@ func (c *Conn) scheduleAck() {
 
 // --- timers ---
 
+// timerEv records one pending RTO check event: the heap slot it
+// occupies. The stack is time-descending (minimum at the end) because
+// a new check is only ever scheduled below every pending one — see
+// armTimer — and the heap necessarily pops this connection's checks in
+// ascending time order.
+type timerEv struct {
+	at  time.Duration
+	seq uint64
+}
+
+// armTimer (re)sets the retransmission timer d from now.
+//
+// The eager scheme scheduled a fresh closure per arm — one allocation
+// and one heap push per ACK on a busy connection, almost all of them
+// stale by the time they popped. The lazy scheme records the deadline,
+// reserves the sequence number that per-arm Schedule call would have
+// consumed (keeping every later event's tie-break seq identical), and
+// schedules a check event only when no pending check is due at or
+// before the new deadline. A check popping before the live deadline
+// re-schedules itself at exactly (timerDeadline, timerSeq); a check
+// popping at the live deadline fires. Either way the RTO executes in
+// precisely the heap slot the eager scheme's event occupied, so
+// behaviour — even under loss, where RTOs actually fire — is
+// bit-identical while the common loss-free connection pays one check
+// event per RTO-quantum instead of one push per ACK.
 func (c *Conn) armTimer(d time.Duration) {
-	c.timerGen++
+	sim := c.ep.Sim()
+	at := sim.Now() + d
 	c.timerArmed = true
-	gen := c.timerGen
-	c.ep.Sim().Schedule(d, func() {
-		if gen == c.timerGen && c.timerArmed {
-			c.onTimeout()
-		}
-	})
+	c.timerDeadline = at
+	c.timerSeq = sim.TakeSeq()
+	if n := len(c.timerEvs); n > 0 && c.timerEvs[n-1].at <= at {
+		return // a pending check pops by the deadline and will cover it
+	}
+	c.scheduleCheck(at, c.timerSeq)
+}
+
+// scheduleCheck pushes a check event at (at, seq) and records it. The
+// caller guarantees at is strictly below every pending check time, so
+// appending keeps the stack time-descending.
+func (c *Conn) scheduleCheck(at time.Duration, seq uint64) {
+	if c.timerFn == nil {
+		c.timerFn = c.timerCheck
+	}
+	c.ep.Sim().ScheduleAtSeq(at, seq, c.timerFn)
+	c.timerEvs = append(c.timerEvs, timerEv{at: at, seq: seq})
+}
+
+// timerCheck runs when a check event pops. It fires the RTO only from
+// the exact (deadline, seq) slot the current arm reserved; any other
+// pop is a stale check that either dies or re-materializes the live
+// deadline.
+func (c *Conn) timerCheck() {
+	n := len(c.timerEvs) - 1
+	ev := c.timerEvs[n]
+	c.timerEvs = c.timerEvs[:n]
+	if !c.timerArmed || c.st == stateClosed {
+		return
+	}
+	now := c.ep.Sim().Now()
+	if now >= c.timerDeadline && (now > c.timerDeadline || ev.seq == c.timerSeq) {
+		// now > deadline cannot happen — a pending check always covers
+		// the live deadline — but fire rather than stall if it ever did.
+		c.timerArmed = false
+		c.onTimeout()
+		return
+	}
+	if n == 0 || c.timerEvs[n-1].at > c.timerDeadline {
+		c.scheduleCheck(c.timerDeadline, c.timerSeq)
+	}
 }
 
 func (c *Conn) cancelTimer() {
-	c.timerGen++
 	c.timerArmed = false
 }
 

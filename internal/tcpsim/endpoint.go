@@ -41,6 +41,15 @@ type Endpoint struct {
 	listeners map[uint16]*Listener
 	nextPort  uint16
 
+	// demuxGen is bumped whenever a connection leaves the demux table.
+	// The fast lane resolves destination connections ahead of delivery
+	// and caches the generation; a mismatch at dispatch or send time
+	// means some connection closed in between, so cached resolutions
+	// are re-derived (or the delivery takes the full Deliver demux,
+	// which treats a vanished connection exactly as the packet path
+	// does: the segment is dropped).
+	demuxGen uint64
+
 	// segPool recycles out-of-order reassembly buffers across this
 	// host's connections; see the ownership rules on segPool.
 	segPool segPool
@@ -172,6 +181,7 @@ func (e *Endpoint) send(remote simnet.HostID, seg Segment) {
 
 // remove drops a connection from the demux table.
 func (e *Endpoint) remove(c *Conn) {
+	e.demuxGen++
 	delete(e.conns, connKey{c.remote, c.remotePort, c.localPort})
 }
 

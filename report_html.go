@@ -206,11 +206,13 @@ func (r *Report) htmlFig9(bw *htmlWriter) {
 	}
 }
 
-// htmlMetrics renders the registry's quantile sketches and counters.
+// htmlMetrics renders the registry's quantile sketches, counters and
+// the fast-forward engine's gauge trio.
 func htmlMetrics(bw *htmlWriter, reg *MetricsRegistry) {
 	if reg == nil {
 		return
 	}
+	htmlFastPath(bw, reg)
 	fams := reg.Families()
 	var sketches, counters []*obs.Family
 	for _, f := range fams {
@@ -253,6 +255,25 @@ func htmlMetrics(bw *htmlWriter, reg *MetricsRegistry) {
 		}
 		bw.printf("</table>\n")
 	}
+}
+
+// htmlFastPath renders the fast-forward engine's activity: how much of
+// the simulated traffic bypassed the event heap via analytic
+// fast-forwarding, and how often connections entered or abandoned
+// those epochs. Skipped when the registry carries no fastpath gauges
+// (pre-fast-path metric dumps).
+func htmlFastPath(bw *htmlWriter, reg *MetricsRegistry) {
+	u, ok := FastPathUsageFrom(reg)
+	if !ok {
+		return
+	}
+	bw.printf("<h2>Fast-forward engine</h2>\n")
+	bw.printf("<p class=\"note\">loss-free TCP transfers are fast-forwarded: segment deliveries are computed analytically and bypass the global event heap (packet-equivalent by construction; the busiest study cell's snapshot after the shard merge).</p>\n")
+	bw.printf("<table>\n<tr><th class=\"l\">gauge</th><th>value</th></tr>\n")
+	bw.printf("<tr><td class=\"l\">fastpath_epochs</td><td>%s</td></tr>\n", trimFloat(u.Epochs))
+	bw.printf("<tr><td class=\"l\">fastpath_bytes</td><td>%s</td></tr>\n", trimFloat(u.Bytes))
+	bw.printf("<tr><td class=\"l\">fastpath_fallbacks</td><td>%s</td></tr>\n", trimFloat(u.Fallbacks))
+	bw.printf("</table>\n")
 }
 
 // htmlExemplars renders the tail-sampled span trees as timelines.

@@ -51,6 +51,9 @@ func sampleObs() (*MetricsRegistry, []Exemplar) {
 	o := NewTailObserver(TailConfig{Percentile: 0.5, MaxExemplars: 4})
 	reg := o.Registry()
 	reg.Counter("sim_events_total", "events").Add(999)
+	reg.Gauge("fastpath_epochs", "epochs").Set(12)
+	reg.Gauge("fastpath_bytes", "bytes").Set(3.5e6)
+	reg.Gauge("fastpath_fallbacks", "fallbacks").Set(2)
 	sk := reg.SketchVec("session_param_seconds", "params", 0.01, "service", "phase").
 		With("google-like", "tdynamic")
 	for i := 1; i <= 100; i++ {
@@ -95,6 +98,8 @@ func TestWriteHTMLDeterministicAndComplete(t *testing.T) {
 		"service=google-like, phase=tdynamic",
 		"Counters",
 		"sim_events_total",
+		"Fast-forward engine",
+		"fastpath_bytes",
 		"Tail exemplars",
 		"bound violation",
 		"<svg",
@@ -110,6 +115,24 @@ func TestWriteHTMLDeterministicAndComplete(t *testing.T) {
 	// Violation exemplar must always render even with a tight cap.
 	if got := strings.Count(out, `<p class="violation">`); got != 1 {
 		t.Errorf("%d violation badges, want 1", got)
+	}
+}
+
+func TestFastPathUsageFrom(t *testing.T) {
+	reg, _ := sampleObs()
+	u, ok := FastPathUsageFrom(reg)
+	if !ok {
+		t.Fatal("FastPathUsageFrom found no gauges in a registry that has them")
+	}
+	if u.Epochs != 12 || u.Bytes != 3.5e6 || u.Fallbacks != 2 {
+		t.Fatalf("usage = %+v, want {12 3.5e+06 2}", u)
+	}
+	if _, ok := FastPathUsageFrom(nil); ok {
+		t.Error("nil registry reported fast-path gauges")
+	}
+	empty := NewObserver().Registry()
+	if _, ok := FastPathUsageFrom(empty); ok {
+		t.Error("empty registry reported fast-path gauges")
 	}
 }
 
