@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet bench bench-json bench-compare check report report-full examples clean fuzz-smoke equivalence fastpath-check
+.PHONY: all build test vet bench bench-json bench-compare check report report-full examples clean fuzz-smoke equivalence fastpath-check telemetry-smoke
 
 all: build vet test
 
@@ -28,7 +28,7 @@ bench-compare:
 	$(GO) run ./cmd/benchjson -benchtime 100ms -o bench-check.json \
 		-compare $(BENCH_BASELINE) -warn-only
 
-BENCH_BASELINE ?= BENCH_5.json
+BENCH_BASELINE ?= BENCH_6.json
 
 # Fast-forward engine equivalence gate: the differential property test
 # (randomized RTT/loss/size/cwnd scenarios, fast lane vs packet lane),
@@ -46,6 +46,14 @@ fastpath-check:
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzPrometheusLabelEscape -fuzztime 10s ./internal/obs
 	$(GO) test -run '^$$' -fuzz FuzzMetricsJSONLRoundTrip -fuzztime 10s ./internal/obs
+
+# Runtime-telemetry smoke, end to end through the CLI: a short study
+# with heartbeat, streaming sink and the HTTP endpoint all on; scrapes
+# /metrics and /progress and checks the expected series, snapshot keys,
+# heartbeat lines and runtime.jsonl landed. Telemetry is wall-clock
+# only, so nothing here diffs against deterministic artifacts.
+telemetry-smoke: build
+	./scripts/telemetry_smoke.sh ./bin/fesplit
 
 # Serial/parallel equivalence, end to end through the CLI: the full
 # observed study exported twice — one worker, then four — must be
@@ -80,7 +88,7 @@ bench:
 	$(GO) test -bench=. -benchmem ./...
 
 # Perf-trajectory snapshot: root study benchmarks plus the simnet and
-# tcpsim micro-benchmarks, recorded as BENCH_5.json (name → ns/op,
+# tcpsim micro-benchmarks, recorded as BENCH_6.json (name → ns/op,
 # B/op, allocs/op). Later PRs diff new snapshots against this file.
 #
 # The `[^4]$` bench regexp drops BenchmarkStudyRunAllWorkers4 — the
@@ -89,7 +97,7 @@ bench:
 # not depend on the runner's core count, and the parallel runner's
 # correctness is already pinned byte-for-byte by `make equivalence`.
 bench-json:
-	$(GO) run ./cmd/benchjson -bench '[^4]$$' -o BENCH_5.json
+	$(GO) run ./cmd/benchjson -bench '[^4]$$' -o BENCH_6.json
 
 # Light-scale figure regeneration (seconds).
 report: build

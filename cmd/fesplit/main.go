@@ -5,6 +5,7 @@
 //
 //	fesplit report       [-seed N] [-scale light|full] [-fig all|3..9|caching] [-csv DIR] [-html FILE]
 //	fesplit study        [-seed N] [-scale light|full] [-workers N] [-node-batches K] [-dir DIR]
+//	             [-progress] [-progress-interval D] [-listen ADDR] [-stream] [-linger D]
 //	fesplit sweep        [-seed N] [-miles M] [-loss P] [-repeats K]
 //	fesplit direct       [-seed N] [-service google|bing] [-nodes N]
 //	fesplit trace        [-seed N] [-rtt MS] [-o FILE]
@@ -76,7 +77,9 @@ commands:
                and self-contained HTML with inline SVG via -html)
   study        run the full observed study on a worker pool and export
                figures, metrics, spans and reports into one directory;
-               outputs are byte-identical for any -workers value
+               outputs are byte-identical for any -workers value and with
+               telemetry (-progress, -listen, runtime.jsonl) on or off;
+               -stream bounds memory by folding records into accumulators
   sweep        FE-placement ablation: the placement / fetch-time trade-off
   direct       no-FE baseline: clients straight to the data center
   trace        capture one query session and print its packet timeline
@@ -134,6 +137,11 @@ func cmdReport(args []string) error {
 			fmt.Fprintf(os.Stderr,
 				"fast path: %.0f epochs, %.0f bytes bypassed the event heap, %.0f fallbacks (busiest cell)\n",
 				u.Epochs, u.Bytes, u.Fallbacks)
+			if u.HasReasons {
+				fmt.Fprintf(os.Stderr,
+					"fast path fallbacks by reason: loss %.0f, topology %.0f, teardown %.0f, disabled %.0f\n",
+					u.FallbackLoss, u.FallbackTopology, u.FallbackTeardown, u.FallbackDisabled)
+			}
 		}
 		return rep.WriteText(os.Stdout)
 	}

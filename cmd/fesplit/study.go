@@ -6,6 +6,7 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"time"
 
 	"fesplit"
 )
@@ -25,6 +26,16 @@ func cmdStudy(args []string) error {
 	batches := fs.Int("node-batches", 0,
 		"node batches for the default-FE campaign (0 → default; changes results, unlike -workers)")
 	dir := fs.String("dir", "study-out", "output directory for the exported files")
+	progress := fs.Bool("progress", false,
+		"print a live heartbeat line to stderr every -progress-interval while the study runs")
+	progressInterval := fs.Duration("progress-interval", time.Second,
+		"wall-clock sampling cadence for -progress, runtime.jsonl and -listen snapshots")
+	listen := fs.String("listen", "",
+		"serve live telemetry over HTTP on this address (/metrics, /progress, /debug/pprof); empty disables")
+	stream := fs.Bool("stream", false,
+		"stream default-FE campaign records through mergeable accumulators instead of retaining datasets (bounded memory; identical figures)")
+	linger := fs.Duration("linger", 0,
+		"keep the -listen endpoint up this long after the study finishes (for scraping a completed run)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -42,13 +53,49 @@ func cmdStudy(args []string) error {
 	}
 	cfg.Workers = *workers
 	cfg.NodeBatches = *batches
+	cfg.StreamRecords = *stream
 
-	out, err := fesplit.NewStudy(cfg).RunAllObserved()
-	if err != nil {
-		return fmt.Errorf("study: %w", err)
-	}
+	// The output directory must exist before the run: runtime.jsonl
+	// streams wall-clock telemetry while the study executes.
 	if err := os.MkdirAll(*dir, 0o755); err != nil {
 		return err
+	}
+	study := fesplit.NewStudy(cfg)
+	telemetry := *progress || *listen != "" || *stream
+	var sampler *fesplit.RuntimeSampler
+	var server *fesplit.RuntimeServer
+	if telemetry {
+		eng := fesplit.NewRuntimeEngine()
+		study.SetRuntime(eng)
+		var consumers []fesplit.RuntimeConsumer
+		if *progress {
+			consumers = append(consumers, fesplit.RuntimeHeartbeat(os.Stderr))
+		}
+		rj, err := os.Create(filepath.Join(*dir, "runtime.jsonl"))
+		if err != nil {
+			return err
+		}
+		defer rj.Close()
+		consumers = append(consumers, fesplit.RuntimeJSONL(rj))
+		if *listen != "" {
+			server, err = fesplit.NewRuntimeServer(eng, *listen)
+			if err != nil {
+				return fmt.Errorf("study: -listen %s: %w", *listen, err)
+			}
+			defer server.Close()
+			fmt.Fprintf(os.Stderr, "study: telemetry listening on http://%s\n", server.Addr())
+			consumers = append(consumers, server.OnSample)
+		}
+		sampler = fesplit.NewRuntimeSampler(eng, *progressInterval, consumers...)
+		sampler.Start()
+	}
+
+	out, err := study.RunAllObserved()
+	if sampler != nil {
+		sampler.Stop() // flush one final snapshot before reporting
+	}
+	if err != nil {
+		return fmt.Errorf("study: %w", err)
 	}
 	if err := out.Report.WriteCSVs(*dir); err != nil {
 		return err
@@ -80,6 +127,19 @@ func cmdStudy(args []string) error {
 	fmt.Fprintf(os.Stderr,
 		"study: seed %d, scale %s, %d workers — %d metric families, %d tail exemplars\n",
 		*seed, *scale, *workers, len(out.Metrics.Families()), len(out.Exemplars))
+	if u, ok := fesplit.FastPathUsageFrom(out.Metrics); ok && u.HasReasons {
+		fmt.Fprintf(os.Stderr,
+			"study: fastpath fallbacks %.0f (loss %.0f, topology %.0f, teardown %.0f, disabled %.0f)\n",
+			u.Fallbacks, u.FallbackLoss, u.FallbackTopology, u.FallbackTeardown, u.FallbackDisabled)
+	}
+	if eng := study.Runtime(); eng != nil {
+		fmt.Fprintf(os.Stderr, "study: peak heap %.1f MiB, %d records streamed\n",
+			float64(eng.HeapWatermark())/(1<<20), eng.Records())
+	}
 	fmt.Fprintf(os.Stderr, "study: figures + metrics + reports written to %s\n", *dir)
+	if server != nil && *linger > 0 {
+		fmt.Fprintf(os.Stderr, "study: holding telemetry endpoint for %s\n", *linger)
+		time.Sleep(*linger)
+	}
 	return nil
 }

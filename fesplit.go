@@ -39,6 +39,7 @@ import (
 	"fesplit/internal/frontend"
 	"fesplit/internal/geo"
 	"fesplit/internal/obs"
+	rt "fesplit/internal/obs/runtime"
 	"fesplit/internal/stats"
 	"fesplit/internal/tcpsim"
 	"fesplit/internal/trace"
@@ -125,6 +126,51 @@ type (
 	Exemplar = obs.Exemplar
 )
 
+// Engine runtime telemetry — wall-clock visibility into a running
+// study (heartbeats, resource watermarks, HTTP endpoints). Everything
+// here is pure observation: attaching it never changes a deterministic
+// output. See docs/METRICS.md.
+type (
+	// RuntimeEngine is the lock-free hub simulators, the fast-path
+	// engine and shard pools publish into.
+	RuntimeEngine = rt.Engine
+	// RuntimeSnapshot is one point-in-time reading of the hub plus Go
+	// runtime stats (heap, GC, goroutines).
+	RuntimeSnapshot = rt.Snapshot
+	// RuntimeSampler periodically snapshots an engine and fans the
+	// snapshots out to consumers.
+	RuntimeSampler = rt.Sampler
+	// RuntimeConsumer receives sampled snapshots.
+	RuntimeConsumer = rt.Consumer
+	// RuntimeServer serves /metrics, /progress and /debug/pprof for a
+	// running engine.
+	RuntimeServer = rt.Server
+)
+
+// NewRuntimeEngine creates a telemetry hub; attach it with
+// Study.SetRuntime or RunnerOptions.Runtime.
+func NewRuntimeEngine() *RuntimeEngine { return rt.NewEngine() }
+
+// NewRuntimeSampler creates a wall-clock sampler over an engine
+// (interval ≤ 0 → one second) feeding the given consumers.
+func NewRuntimeSampler(e *RuntimeEngine, interval time.Duration, consumers ...RuntimeConsumer) *RuntimeSampler {
+	return rt.NewSampler(e, interval, consumers...)
+}
+
+// RuntimeHeartbeat returns a consumer printing one human heartbeat
+// line per sample (the `fesplit study -progress` stderr format).
+func RuntimeHeartbeat(w io.Writer) RuntimeConsumer { return rt.Heartbeat(w) }
+
+// RuntimeJSONL returns a consumer appending one JSON snapshot per
+// sample (the runtime.jsonl format).
+func RuntimeJSONL(w io.Writer) RuntimeConsumer { return rt.JSONL(w) }
+
+// NewRuntimeServer starts an HTTP listener on addr exposing the
+// engine's /metrics (Prometheus), /progress (JSON) and /debug/pprof.
+func NewRuntimeServer(e *RuntimeEngine, addr string) (*RuntimeServer, error) {
+	return rt.NewServer(e, addr)
+}
+
 // NewObserver creates an observer with a registry and a span tracer.
 func NewObserver() *Observer { return obs.NewObserver() }
 
@@ -184,14 +230,48 @@ type FastPathUsage struct {
 	Epochs    float64
 	Bytes     float64
 	Fallbacks float64
+	// Per-reason fallback breakdown (fastpath_fallbacks_by_reason):
+	// loss processes on the lane, topology changes invalidating the
+	// resolved handler, peer teardown mid-epoch, and the engine being
+	// disabled outright. HasReasons is false on dumps predating the
+	// breakdown.
+	FallbackLoss     float64
+	FallbackTopology float64
+	FallbackTeardown float64
+	FallbackDisabled float64
+	HasReasons       bool
 }
 
-// FastPathUsageFrom extracts the fastpath_* gauge trio from a registry.
-// ok is false when the registry carries no fast-path gauges (nil
-// registry, or a metrics dump predating the fast-forward engine).
+// FastPathUsageFrom extracts the fastpath_* gauge trio (plus the
+// per-reason fallback breakdown when present) from a registry. ok is
+// false when the registry carries no fast-path gauges (nil registry,
+// or a metrics dump predating the fast-forward engine).
 func FastPathUsageFrom(reg *MetricsRegistry) (u FastPathUsage, ok bool) {
 	for _, f := range reg.Families() {
 		if f.Kind != obs.KindGauge {
+			continue
+		}
+		if f.Name == "fastpath_fallbacks_by_reason" {
+			for _, s := range f.Series() {
+				if s.Gauge == nil || len(s.LabelValues) == 0 {
+					continue
+				}
+				var dst *float64
+				switch s.LabelValues[0] {
+				case "loss":
+					dst = &u.FallbackLoss
+				case "topology":
+					dst = &u.FallbackTopology
+				case "teardown":
+					dst = &u.FallbackTeardown
+				case "disabled":
+					dst = &u.FallbackDisabled
+				default:
+					continue
+				}
+				*dst = s.Gauge.Value()
+				u.HasReasons = true
+			}
 			continue
 		}
 		var dst *float64

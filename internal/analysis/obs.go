@@ -7,6 +7,44 @@ import (
 	"fesplit/internal/obs"
 )
 
+// ParamObserver holds the five pre-resolved session_param_seconds
+// sketches for one (registry, service) pair, so per-record streaming
+// can feed parameters one at a time without re-resolving sketch
+// handles. Zero value (nil registry) observes nothing.
+type ParamObserver struct {
+	rtt, st, dy, de, ov *obs.Sketch
+}
+
+// NewParamObserver resolves the phase sketches for service on reg
+// (nil reg → inert observer).
+func NewParamObserver(reg *obs.Registry, service string) *ParamObserver {
+	po := &ParamObserver{}
+	if reg == nil {
+		return po
+	}
+	v := reg.SketchVec("session_param_seconds",
+		"per-session Section-2 parameter quantiles",
+		obs.DefaultSketchAlpha, "service", "phase")
+	po.rtt = v.With(service, "rtt")
+	po.st = v.With(service, "tstatic")
+	po.dy = v.With(service, "tdynamic")
+	po.de = v.With(service, "tdelta")
+	po.ov = v.With(service, "overall")
+	return po
+}
+
+// Observe feeds one session's parameters into the sketches.
+func (po *ParamObserver) Observe(p Params) {
+	if po == nil || po.rtt == nil {
+		return
+	}
+	po.rtt.Observe(p.RTT.Seconds())
+	po.st.Observe(p.Tstatic.Seconds())
+	po.dy.Observe(p.Tdynamic.Seconds())
+	po.de.Observe(p.Tdelta.Seconds())
+	po.ov.Observe(p.Overall.Seconds())
+}
+
 // ObserveParams feeds measured per-session parameters into the
 // registry's dimensional quantile sketches, labeled by service and
 // phase. The phase dimension carries the paper's Section-2 quantities
@@ -17,20 +55,9 @@ func ObserveParams(reg *obs.Registry, service string, params []Params) {
 	if reg == nil {
 		return
 	}
-	v := reg.SketchVec("session_param_seconds",
-		"per-session Section-2 parameter quantiles",
-		obs.DefaultSketchAlpha, "service", "phase")
-	rtt := v.With(service, "rtt")
-	st := v.With(service, "tstatic")
-	dy := v.With(service, "tdynamic")
-	de := v.With(service, "tdelta")
-	ov := v.With(service, "overall")
+	po := NewParamObserver(reg, service)
 	for _, p := range params {
-		rtt.Observe(p.RTT.Seconds())
-		st.Observe(p.Tstatic.Seconds())
-		dy.Observe(p.Tdynamic.Seconds())
-		de.Observe(p.Tdelta.Seconds())
-		ov.Observe(p.Overall.Seconds())
+		po.Observe(p)
 	}
 }
 
@@ -69,14 +96,25 @@ func SampleTails(ts *obs.TailSampler, ds *emulator.Dataset, boundary int, tol ti
 		if err != nil {
 			continue
 		}
-		violation := violatesBounds(p, rr.TrueFetch, tol)
-		if violation {
+		if SampleTail(ts, rr, p, tol) {
 			violations++
 		}
-		ts.Offer(p.Tdynamic.Seconds(), violation, rr.Span)
 		offered++
 	}
 	return offered, violations
+}
+
+// SampleTail offers one already-extracted record to the tail sampler —
+// the per-record streaming form of SampleTails. The caller owns the
+// skip conditions (failed record, missing span, extraction error);
+// SampleTail only judges the bound and offers. Returns whether the
+// record carried a violation.
+func SampleTail(ts *obs.TailSampler, rr *emulator.Record, p Params, tol time.Duration) bool {
+	violation := violatesBounds(p, rr.TrueFetch, tol)
+	if ts != nil {
+		ts.Offer(p.Tdynamic.Seconds(), violation, rr.Span)
+	}
+	return violation
 }
 
 // violatesBounds reports whether a ground-truth fetch time falsifies

@@ -163,7 +163,7 @@ func TestRunShardedAMatchesUnsharded(t *testing.T) {
 
 	// The sharded path derives batch 0's sim seed via shard.Mix, so use
 	// a single-batch runner seeded the same way for the comparison.
-	got, _, err := RunShardedA(ShardedAOptions{
+	got, _, _, err := RunShardedA(ShardedAOptions{
 		SimSeed: 5, Deployment: dep, Runner: ropts, A: aopts, Batches: 1, Workers: 2,
 	})
 	if err != nil {
@@ -184,7 +184,7 @@ func TestRunShardedAMatchesUnsharded(t *testing.T) {
 func TestRunShardedADeterministicAcrossWorkers(t *testing.T) {
 	dep := cdn.GoogleLike(1)
 	run := func(workers int) *Dataset {
-		ds, _, err := RunShardedA(ShardedAOptions{
+		ds, _, _, err := RunShardedA(ShardedAOptions{
 			SimSeed: 9, Deployment: dep,
 			Runner:  Options{Nodes: 6, FleetSeed: 10},
 			A:       AOptions{QueriesPerNode: 2, Interval: time.Second, QuerySeed: 11},

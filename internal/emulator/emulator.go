@@ -21,6 +21,7 @@ import (
 	"fesplit/internal/geo"
 	"fesplit/internal/httpsim"
 	"fesplit/internal/obs"
+	rt "fesplit/internal/obs/runtime"
 	"fesplit/internal/simnet"
 	"fesplit/internal/tcpsim"
 	"fesplit/internal/trace"
@@ -63,6 +64,22 @@ type Record struct {
 // payload byte (paper Figure 8's quantity).
 func (r Record) OverallDelay() time.Duration { return r.DoneAt - r.IssuedAt }
 
+// RecordSink consumes finalized records one at a time — the streaming
+// alternative to accumulating a Dataset. A sharded campaign built with
+// a sink folds each record into the caller's mergeable accumulators
+// (parameter extraction, quantile sketches, tail sampling) and then
+// drops it, so the campaign's memory stays bounded by one batch world
+// instead of growing with the full record count. See
+// ShardedAOptions.Sink.
+//
+// Consume is called in record order (batch order, then per-batch
+// simulation order), from the batch's worker goroutine. The record —
+// its Events, Span and Body included — must not be retained beyond the
+// call; copy what you keep.
+type RecordSink interface {
+	Consume(rec *Record)
+}
+
 // Dataset is the output of one experiment.
 type Dataset struct {
 	Service    string
@@ -92,6 +109,7 @@ type Runner struct {
 
 	obsv       *obs.Observer
 	simMetrics *simnet.Metrics
+	rt         *rt.Engine
 }
 
 // Options configures a Runner.
@@ -120,6 +138,11 @@ type Options struct {
 	// tracer) one causal span tree per completed query, assembled at
 	// finalize time. Nil costs nothing on the hot paths.
 	Obs *obs.Observer
+	// Runtime, when non-nil, publishes engine liveness (events/sec,
+	// sim-time ratio, fast-path activity, heap watermark) to the
+	// wall-clock telemetry hub. Unlike Obs it is shared across
+	// concurrent worlds and never touches the deterministic exports.
+	Runtime *rt.Engine
 }
 
 func (o Options) withDefaults() Options {
@@ -152,6 +175,11 @@ func New(simSeed int64, depCfg cdn.Config, opts Options) (*Runner, error) {
 		recs:       make(map[simnet.HostID]*capture.Recorder),
 		clientTCP:  opts.ClientTCP,
 		keepBodies: opts.KeepBodies,
+		rt:         opts.Runtime,
+	}
+	if opts.Runtime != nil {
+		sim.SetRuntime(opts.Runtime)
+		net.SetRuntime(opts.Runtime)
 	}
 	var stack *tcpsim.StackMetrics
 	if opts.Obs != nil {
@@ -278,6 +306,9 @@ func (r *Runner) finalize(ds *Dataset) *Dataset {
 		ds.FEFetchTimes[fe.Host()] = fe.FetchTimes()
 	}
 	r.observe(ds)
+	// One heap reading per completed world: with many batch worlds in
+	// flight this is what traces the campaign's memory watermark.
+	r.rt.SampleMem()
 	return ds
 }
 

@@ -7,6 +7,7 @@ import (
 	"fesplit/internal/capture"
 	"fesplit/internal/cdn"
 	"fesplit/internal/obs"
+	rt "fesplit/internal/obs/runtime"
 	"fesplit/internal/shard"
 	"fesplit/internal/simnet"
 )
@@ -52,6 +53,20 @@ type ShardedAOptions struct {
 	// would race). RunShardedA returns the observers in batch order for
 	// the caller to merge canonically.
 	Observe func(b shard.Batch) *obs.Observer
+	// Sink, when non-nil, switches the campaign to the streaming record
+	// path: it is called once per batch (from the batch's worker
+	// goroutine) and must return a fresh RecordSink private to the
+	// batch. Each finished batch feeds its records into its sink in
+	// simulation order and then drops the batch dataset, so memory stays
+	// bounded by one batch world instead of the full record count.
+	// RunShardedA then returns a nil Dataset and the sinks in batch
+	// order: merging the per-batch accumulators in that order is
+	// equivalent to offering every record serially.
+	Sink func(b shard.Batch) RecordSink
+	// Runtime, when non-nil, receives engine telemetry: batch task
+	// progress, streamed-record counts and heap watermark samples. Pure
+	// observation — results are byte-identical with or without it.
+	Runtime *rt.Engine
 }
 
 // RunShardedA runs Experiment A split into contiguous node batches,
@@ -62,8 +77,10 @@ type ShardedAOptions struct {
 // size.
 //
 // The returned observer slice is nil unless Observe was set; otherwise
-// it holds one observer per batch, in batch order.
-func RunShardedA(opts ShardedAOptions) (*Dataset, []*obs.Observer, error) {
+// it holds one observer per batch, in batch order. Likewise the sink
+// slice is nil unless Sink was set; with a Sink the returned Dataset is
+// nil — the records were streamed and dropped.
+func RunShardedA(opts ShardedAOptions) (*Dataset, []*obs.Observer, []RecordSink, error) {
 	n := opts.Runner.withDefaults().Nodes
 	k := opts.Batches
 	if k <= 0 {
@@ -71,10 +88,11 @@ func RunShardedA(opts ShardedAOptions) (*Dataset, []*obs.Observer, error) {
 	}
 	batches := shard.NodeBatches(n, k)
 	if len(batches) == 0 {
-		return nil, nil, fmt.Errorf("emulator: sharded A with no nodes")
+		return nil, nil, nil, fmt.Errorf("emulator: sharded A with no nodes")
 	}
 	dss := make([]*Dataset, len(batches))
 	obsvs := make([]*obs.Observer, len(batches))
+	sinks := make([]RecordSink, len(batches))
 	tasks := make([]shard.Task, len(batches))
 	for i, b := range batches {
 		i, b := i, b
@@ -82,6 +100,7 @@ func RunShardedA(opts ShardedAOptions) (*Dataset, []*obs.Observer, error) {
 			Name: fmt.Sprintf("nodes[%d:%d]", b.Lo, b.Hi),
 			Run: func() error {
 				ropts := opts.Runner
+				ropts.Runtime = opts.Runtime
 				if opts.Observe != nil {
 					obsvs[i] = opts.Observe(b)
 					ropts.Obs = obsvs[i]
@@ -104,18 +123,41 @@ func RunShardedA(opts ShardedAOptions) (*Dataset, []*obs.Observer, error) {
 						delete(ds.Traces, host)
 					}
 				}
+				if opts.Sink != nil {
+					// Streaming path: fold every record into the batch's
+					// private sink in simulation order, then drop the
+					// dataset. The batch world (and its traces) dies with
+					// this closure, so the campaign's live heap is one
+					// batch, not the whole fleet's record history.
+					sink := opts.Sink(b)
+					sinks[i] = sink
+					for j := range ds.Records {
+						sink.Consume(&ds.Records[j])
+						opts.Runtime.NoteRecord()
+					}
+					return nil
+				}
 				dss[i] = ds
 				return nil
 			},
 		}
 	}
-	if err := shard.Run(opts.Workers, tasks); err != nil {
-		return nil, nil, err
+	var p shard.Progress
+	if opts.Runtime != nil {
+		opts.Runtime.AddTasks(len(tasks))
+		p = opts.Runtime
 	}
+	if err := shard.RunProgress(opts.Workers, tasks, p); err != nil {
+		return nil, nil, nil, err
+	}
+	opts.Runtime.SampleMem()
 	if opts.Observe == nil {
 		obsvs = nil
 	}
-	return MergeDatasets(dss...), obsvs, nil
+	if opts.Sink == nil {
+		sinks = nil
+	}
+	return MergeDatasets(dss...), obsvs, sinks, nil
 }
 
 // MergeDatasets joins per-shard datasets in argument order — the

@@ -123,6 +123,17 @@ func (g *Gauge) Value() float64 {
 	return g.v
 }
 
+// RaiseMax lifts the recorded maximum to at least v without touching
+// the current value. Subsystems that track a high-water mark exactly
+// but publish the live value on a decimated cadence (the scheduler's
+// heap depth) use this at flush time, so short runs whose decimated
+// samples never fired still export the true watermark.
+func (g *Gauge) RaiseMax(v float64) {
+	if g != nil && v > g.max {
+		g.max = v
+	}
+}
+
 // Max returns the largest value the gauge has held (0 on nil).
 func (g *Gauge) Max() float64 {
 	if g == nil {

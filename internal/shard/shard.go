@@ -72,6 +72,18 @@ func Workers(requested, n int) int {
 	return w
 }
 
+// Progress receives task lifecycle notifications from a running pool:
+// Started when a worker claims a task, Done when it finishes (in
+// either order across tasks — workers race). Implementations must be
+// safe for concurrent use; the pool never blocks on them. Progress is
+// pure telemetry: it observes scheduling, it cannot influence it, so a
+// pool with a Progress attached produces byte-identical results to one
+// without.
+type Progress interface {
+	TaskStarted(name string)
+	TaskDone(name string)
+}
+
 // Run executes every task on up to workers goroutines (resolved via
 // Workers) and returns the canonical first error: the error of the
 // failed task with the lowest index, wrapped with the task's name. All
@@ -80,6 +92,12 @@ func Workers(requested, n int) int {
 // Panics inside tasks are recovered into errors, so one broken shard
 // cannot take down the process.
 func Run(workers int, tasks []Task) error {
+	return RunProgress(workers, tasks, nil)
+}
+
+// RunProgress is Run with task lifecycle notifications delivered to p
+// (nil p ≡ Run).
+func RunProgress(workers int, tasks []Task, p Progress) error {
 	if len(tasks) == 0 {
 		return nil
 	}
@@ -96,7 +114,13 @@ func Run(workers int, tasks []Task) error {
 				if idx >= len(tasks) {
 					return
 				}
+				if p != nil {
+					p.TaskStarted(tasks[idx].Name)
+				}
 				errs[idx] = runTask(&tasks[idx])
+				if p != nil {
+					p.TaskDone(tasks[idx].Name)
+				}
 			}
 		}()
 	}

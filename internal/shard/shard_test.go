@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"sync"
 	"sync/atomic"
 	"testing"
 )
@@ -169,5 +170,88 @@ func TestRunRecoversPanics(t *testing.T) {
 func TestRunEmptyTaskList(t *testing.T) {
 	if err := Run(4, nil); err != nil {
 		t.Fatalf("empty task list: %v", err)
+	}
+}
+
+// progressLog records pool lifecycle notifications; safe for the
+// concurrent delivery RunProgress promises to tolerate.
+type progressLog struct {
+	mu      sync.Mutex
+	started []string
+	done    []string
+}
+
+func (p *progressLog) TaskStarted(name string) {
+	p.mu.Lock()
+	p.started = append(p.started, name)
+	p.mu.Unlock()
+}
+
+func (p *progressLog) TaskDone(name string) {
+	p.mu.Lock()
+	p.done = append(p.done, name)
+	p.mu.Unlock()
+}
+
+// TestRunProgressNotifications checks every task produces exactly one
+// Started and one Done notification, and that attaching a Progress
+// changes nothing about the pool's results.
+func TestRunProgressNotifications(t *testing.T) {
+	const n = 17
+	run := func(p Progress) ([]int32, error) {
+		results := make([]int32, n)
+		tasks := make([]Task, n)
+		for i := range tasks {
+			i := i
+			tasks[i] = Task{Name: fmt.Sprintf("task-%02d", i), Run: func() error {
+				atomic.AddInt32(&results[i], int32(i)+1)
+				return nil
+			}}
+		}
+		err := RunProgress(4, tasks, p)
+		return results, err
+	}
+
+	p := &progressLog{}
+	withP, err := run(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	without, err := run(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range withP {
+		if withP[i] != without[i] {
+			t.Fatalf("slot %d differs with progress attached: %d vs %d", i, withP[i], without[i])
+		}
+	}
+	if len(p.started) != n || len(p.done) != n {
+		t.Fatalf("notifications: %d started, %d done, want %d each", len(p.started), len(p.done), n)
+	}
+	seen := map[string]bool{}
+	for _, name := range p.done {
+		if seen[name] {
+			t.Fatalf("task %s reported done twice", name)
+		}
+		seen[name] = true
+	}
+}
+
+// TestRunProgressNotifiesFailedTasks checks Done fires even for tasks
+// that error or panic — a stuck progress display would otherwise
+// undercount on failing campaigns.
+func TestRunProgressNotifiesFailedTasks(t *testing.T) {
+	p := &progressLog{}
+	tasks := []Task{
+		{Name: "ok", Run: func() error { return nil }},
+		{Name: "err", Run: func() error { return errors.New("boom") }},
+		{Name: "panic", Run: func() error { panic("pow") }},
+	}
+	if err := RunProgress(2, tasks, p); err == nil {
+		t.Fatal("pool swallowed the task error")
+	}
+	if len(p.done) != len(tasks) {
+		t.Fatalf("done notifications = %d, want %d (must fire for failed tasks too)", len(p.done), len(tasks))
 	}
 }

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"fesplit/internal/obs"
+	rt "fesplit/internal/obs/runtime"
 )
 
 // BenchmarkEventThroughput measures raw scheduler throughput: schedule
@@ -65,6 +66,46 @@ func BenchmarkNetworkSendMetrics(b *testing.B) {
 	s := New(2)
 	s.SetMetrics(NewMetrics(obs.NewRegistry()))
 	n := NewNetwork(s)
+	n.Attach("dst", HandlerFunc(func(Packet) {}))
+	n.SetPath("src", "dst", PathParams{Delay: time.Millisecond})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n.Send(Packet{From: "src", To: "dst", Size: 1460})
+		if i%1024 == 0 {
+			s.Run()
+		}
+	}
+	s.Run()
+}
+
+// BenchmarkEventThroughputRuntime is BenchmarkEventThroughput with a
+// wall-clock telemetry hub attached: the overhead gate for runtime
+// publication (batched atomic adds, flushed every rtFlushInterval
+// events — must stay at zero allocs/op like the bare engine).
+func BenchmarkEventThroughputRuntime(b *testing.B) {
+	s := New(1)
+	s.SetRuntime(rt.NewEngine())
+	var fn func()
+	remaining := b.N
+	fn = func() {
+		if remaining > 0 {
+			remaining--
+			s.Schedule(time.Microsecond, fn)
+		}
+	}
+	s.Schedule(0, fn)
+	b.ResetTimer()
+	s.Run()
+}
+
+// BenchmarkNetworkSendRuntime is BenchmarkNetworkSend with a telemetry
+// hub attached to both the scheduler and the network.
+func BenchmarkNetworkSendRuntime(b *testing.B) {
+	s := New(2)
+	eng := rt.NewEngine()
+	s.SetRuntime(eng)
+	n := NewNetwork(s)
+	n.SetRuntime(eng)
 	n.Attach("dst", HandlerFunc(func(Packet) {}))
 	n.SetPath("src", "dst", PathParams{Delay: time.Millisecond})
 	b.ResetTimer()

@@ -56,6 +56,11 @@ func (m *Metrics) Flush() {
 	}
 	if s := m.sim; s != nil {
 		m.HeapDepth.Set(float64(s.events.len()))
+		// The decimated per-event samples may never have fired on a
+		// short run (depthSampleInterval events is a lot of scenario),
+		// leaving the gauge's historical max at zero — raise it to the
+		// exactly-tracked watermark so every export reports the truth.
+		m.HeapDepth.RaiseMax(float64(s.maxDepth))
 		m.HeapDepthMax.Set(float64(s.maxDepth))
 		return
 	}
@@ -93,6 +98,7 @@ func (n *Network) ExportMetrics(reg *obs.Registry) {
 	// Fast-forward engine activity: how much traffic bypassed the event
 	// heap, and how often connections entered/abandoned analytic epochs.
 	// Gauges (snapshots), same merge semantics as the per-path counters.
+	n.flushRuntime() // settle the telemetry hub alongside the export
 	fs := n.FastPathStats()
 	reg.Gauge("fastpath_epochs", "fast-forwarded epochs entered by connections (snapshot)").
 		Set(float64(fs.Epochs))
@@ -100,6 +106,11 @@ func (n *Network) ExportMetrics(reg *obs.Registry) {
 		Set(float64(fs.Bytes))
 	reg.Gauge("fastpath_fallbacks", "epochs abandoned back to the packet path (snapshot)").
 		Set(float64(fs.Fallbacks))
+	byReason := reg.GaugeVec("fastpath_fallbacks_by_reason",
+		"epochs abandoned back to the packet path, by refusal reason (snapshot)", "reason")
+	for i, v := range fs.FallbacksByReason {
+		byReason.With(FallbackReason(i).String()).Set(float64(v))
+	}
 
 	sent := reg.GaugeVec("net_path_packets", "packets sent per directed path (snapshot)", "from", "to")
 	dropped := reg.GaugeVec("net_path_dropped", "packets dropped per directed path (snapshot)", "from", "to")

@@ -3,6 +3,8 @@ package simnet
 import (
 	"fmt"
 	"time"
+
+	rt "fesplit/internal/obs/runtime"
 )
 
 // HostID names a host on the simulated network, e.g. "client-17",
@@ -91,11 +93,16 @@ type Network struct {
 
 	// Fast-path accounting: segments/bytes that bypassed the global
 	// event heap, epochs entered and fallbacks taken by connections.
-	// Exported as the fastpath_* gauges by ExportMetrics.
-	fastSegs      uint64
-	fastBytes     uint64
-	fastEpochs    uint64
-	fastFallbacks uint64
+	// Exported as the fastpath_* gauges by ExportMetrics. Fallbacks are
+	// additionally broken down by reason (see FallbackReason).
+	fastSegs       uint64
+	fastBytes      uint64
+	fastEpochs     uint64
+	fastFallbacks  uint64
+	fastByReason   [rt.NumReasons]uint64
+	rtEngine       *rt.Engine
+	rtPub          FastPathStats // last values published to rtEngine
+	rtPubByReason  [rt.NumReasons]uint64
 }
 
 // NewNetwork creates an empty network on the given simulator.
@@ -286,6 +293,11 @@ func (n *Network) FastPath(from, to HostID) PathHandle {
 	return PathHandle{n: n, p: p, version: n.version}
 }
 
+// FastPathEnabled reports whether FastPath resolution is on (it is by
+// default). Callers that failed to obtain a handle use this to tell a
+// policy refusal (disabled) from a path refusal (loss process).
+func (n *Network) FastPathEnabled() bool { return !n.fastOff }
+
 // SetFastPathEnabled toggles FastPath resolution (enabled by default).
 // Disabling revokes outstanding handles, forcing every transfer back to
 // the packet-level path — the differential equivalence tests run each
@@ -296,13 +308,58 @@ func (n *Network) SetFastPathEnabled(on bool) {
 }
 
 // NoteFastEpoch records a connection entering a fast-forwarded epoch
-// (its segments start bypassing the event heap).
-func (n *Network) NoteFastEpoch() { n.fastEpochs++ }
+// (its segments start bypassing the event heap). Epoch entries are the
+// natural cadence for publishing fast-path liveness to the telemetry
+// hub: frequent enough for a one-second heartbeat, far off the
+// per-segment path.
+func (n *Network) NoteFastEpoch() {
+	n.fastEpochs++
+	if n.rtEngine != nil {
+		n.flushRuntime()
+	}
+}
+
+// FallbackReason classifies why a connection abandoned its fast-
+// forwarded epoch back to the packet path. The numeric values are
+// index-aligned with the telemetry hub's Reason constants and the
+// fastpath_fallbacks_by_reason label order.
+type FallbackReason uint8
+
+// Fallback reasons, in canonical label order.
+const (
+	// FallbackLoss: the path carries a loss process, so every segment
+	// needs the per-event drop decision only the packet path makes.
+	FallbackLoss FallbackReason = rt.ReasonLoss
+	// FallbackTopology: the topology version changed, or the peer's
+	// stack stopped being directly resolvable (foreign lane, detached
+	// handler, non-endpoint handler).
+	FallbackTopology FallbackReason = rt.ReasonTopology
+	// FallbackTeardown: the connection closed mid-epoch.
+	FallbackTeardown FallbackReason = rt.ReasonTeardown
+	// FallbackDisabled: fast-forwarding was switched off on this
+	// network (SetFastPathEnabled(false)).
+	FallbackDisabled FallbackReason = rt.ReasonDisabled
+)
+
+// String returns the reason's metric label value.
+func (r FallbackReason) String() string {
+	if int(r) < len(rt.ReasonNames) {
+		return rt.ReasonNames[r]
+	}
+	return "unknown"
+}
 
 // NoteFastFallback records a connection falling back to the packet
-// path mid-stream (loss appeared, topology changed, or its peer state
-// could no longer be resolved).
-func (n *Network) NoteFastFallback() { n.fastFallbacks++ }
+// path mid-stream, classified by why the epoch could not continue.
+func (n *Network) NoteFastFallback(reason FallbackReason) {
+	n.fastFallbacks++
+	if int(reason) < len(n.fastByReason) {
+		n.fastByReason[reason]++
+	}
+	if n.rtEngine != nil {
+		n.flushRuntime()
+	}
+}
 
 // FastPathStats reports cumulative fast-path activity.
 type FastPathStats struct {
@@ -310,16 +367,46 @@ type FastPathStats struct {
 	Segments  uint64 // segments that bypassed the event heap
 	Bytes     uint64 // wire bytes carried by those segments
 	Fallbacks uint64 // epochs abandoned back to the packet path
+	// FallbacksByReason breaks Fallbacks down, indexed by
+	// FallbackReason.
+	FallbacksByReason [rt.NumReasons]uint64
 }
 
 // FastPathStats returns cumulative fast-path counters.
 func (n *Network) FastPathStats() FastPathStats {
 	return FastPathStats{
-		Epochs:    n.fastEpochs,
-		Segments:  n.fastSegs,
-		Bytes:     n.fastBytes,
-		Fallbacks: n.fastFallbacks,
+		Epochs:            n.fastEpochs,
+		Segments:          n.fastSegs,
+		Bytes:             n.fastBytes,
+		Fallbacks:         n.fastFallbacks,
+		FallbacksByReason: n.fastByReason,
 	}
+}
+
+// SetRuntime wires (or unwires) the wall-clock telemetry hub for this
+// network's fast-path counters. Deltas publish at epoch entries and
+// fallbacks — never per segment.
+func (n *Network) SetRuntime(e *rt.Engine) {
+	n.rtEngine = e
+	n.rtPub = n.FastPathStats()
+	n.rtPubByReason = n.fastByReason
+}
+
+// flushRuntime publishes since-last-flush fast-path deltas to the hub.
+func (n *Network) flushRuntime() {
+	e := n.rtEngine
+	if e == nil {
+		return
+	}
+	cur := n.FastPathStats()
+	var reasons [rt.NumReasons]uint64
+	for i := range reasons {
+		reasons[i] = n.fastByReason[i] - n.rtPubByReason[i]
+	}
+	e.AddFastpath(cur.Epochs-n.rtPub.Epochs, cur.Segments-n.rtPub.Segments,
+		cur.Bytes-n.rtPub.Bytes, reasons)
+	n.rtPub = cur
+	n.rtPubByReason = n.fastByReason
 }
 
 // deliverNow hands pkt to its destination's handler, the delivery half

@@ -11,6 +11,8 @@ import (
 	"fmt"
 	"math/rand"
 	"time"
+
+	rt "fesplit/internal/obs/runtime"
 )
 
 // Time is virtual time since the start of the simulation.
@@ -159,6 +161,16 @@ type Sim struct {
 	// metrics, when wired via SetMetrics, mirrors scheduler activity
 	// into the observability registry. Nil costs one compare per event.
 	metrics *Metrics
+
+	// rt, when wired via SetRuntime, publishes engine liveness (events
+	// executed, virtual time advanced, heap-depth watermark) to the
+	// wall-clock telemetry hub. Publication is batched: Run flushes
+	// deltas every rtFlushInterval events and at drain, so Step itself
+	// stays untouched and the zero-allocation hot path holds.
+	rt          *rt.Engine
+	rtEvents    uint64 // Processed at last flush
+	rtLastNow   Time   // now at last flush
+	rtStepCount uint64 // events since Run started, for the flush cadence
 }
 
 // New returns a simulator whose randomness derives from seed.
@@ -302,10 +314,26 @@ func (s *Sim) Step() bool {
 	return true
 }
 
+// rtFlushInterval is how often (in executed events, power of two) Run
+// flushes liveness deltas to the runtime telemetry hub. Batching keeps
+// the publication off the per-event path: the hub sees the engine at
+// a ~millisecond granularity, the scheduler pays one masked compare
+// per event only while a hub is wired.
+const rtFlushInterval = 4096
+
 // Run executes events until the queue drains.
 func (s *Sim) Run() {
-	for s.Step() {
+	if s.rt == nil {
+		for s.Step() {
+		}
+		return
 	}
+	for s.Step() {
+		if s.rtStepCount++; s.rtStepCount&(rtFlushInterval-1) == 0 {
+			s.flushRuntime()
+		}
+	}
+	s.flushRuntime()
 }
 
 // RunUntil executes events with time ≤ t, then advances the clock to t.
@@ -316,6 +344,33 @@ func (s *Sim) RunUntil(t Time) {
 	if s.now < t {
 		s.now = t
 	}
+	if s.rt != nil {
+		s.flushRuntime()
+	}
+}
+
+// SetRuntime wires (or, with nil, unwires) the wall-clock telemetry
+// hub. Unlike SetMetrics this is aggregate and cross-world: many
+// concurrent simulators share one hub, publishing batched deltas with
+// atomic adds. The hub never feeds back into the simulation or the
+// deterministic exports.
+func (s *Sim) SetRuntime(e *rt.Engine) {
+	s.rt = e
+	s.rtEvents = s.Processed
+	s.rtLastNow = s.now
+}
+
+// Runtime returns the wired telemetry hub (nil when none).
+func (s *Sim) Runtime() *rt.Engine { return s.rt }
+
+// flushRuntime publishes the since-last-flush deltas to the hub.
+func (s *Sim) flushRuntime() {
+	e := s.rt
+	e.AddEvents(s.Processed - s.rtEvents)
+	s.rtEvents = s.Processed
+	e.AddSimTime(int64(s.now - s.rtLastNow))
+	s.rtLastNow = s.now
+	e.NoteHeapDepth(int64(s.maxDepth))
 }
 
 // nextAt reports whether any pending event (heap or fast lane) is due

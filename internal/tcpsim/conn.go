@@ -109,6 +109,9 @@ type Conn struct {
 	fastLane  bool   // currently inside a fast-forwarded epoch
 	fastNo    bool   // resolution refused; don't retry until the topology changes
 	fastNoVer uint64 // topology version the refusal was observed under
+	// fastNoWhy is why resolution refused, cached with the refusal so a
+	// later mid-epoch fallback reports the refusal's own reason.
+	fastNoWhy simnet.FallbackReason
 
 	// --- receive side ---
 	rcvNxt   uint64
@@ -401,9 +404,23 @@ func (c *Conn) transmit(s Segment) {
 	}
 	if c.fastLane {
 		c.fastLane = false
-		c.ep.net.NoteFastFallback()
+		c.ep.net.NoteFastFallback(c.fallbackReason())
 	}
 	c.ep.send(c.remote, s)
+}
+
+// fallbackReason classifies why the epoch the connection was inside
+// can no longer continue. Called right after fastEligible returned
+// false, so the refusal cache — refreshed by that very call when
+// resolution re-ran — carries the current refusal's reason.
+func (c *Conn) fallbackReason() simnet.FallbackReason {
+	if c.st == stateClosed {
+		return simnet.FallbackTeardown
+	}
+	if c.fastNo && c.fastNoVer == c.ep.net.Version() {
+		return c.fastNoWhy
+	}
+	return simnet.FallbackTopology
 }
 
 // fastEligible reports whether this segment can bypass the event heap:
@@ -450,15 +467,20 @@ func (c *Conn) resolveFast() bool {
 	net := c.ep.net
 	h := net.FastPath(c.ep.host, c.remote)
 	if !h.Valid() {
-		return c.noFast()
+		// FastPath refuses for exactly two reasons: the engine is
+		// switched off, or the path carries a loss process.
+		if !net.FastPathEnabled() {
+			return c.noFast(simnet.FallbackDisabled)
+		}
+		return c.noFast(simnet.FallbackLoss)
 	}
 	lane := laneFor(c.ep.Sim())
 	if lane == nil {
-		return c.noFast()
+		return c.noFast(simnet.FallbackTopology)
 	}
 	ep, ok := net.Handler(c.remote).(*Endpoint)
 	if !ok {
-		return c.noFast()
+		return c.noFast(simnet.FallbackTopology)
 	}
 	c.peerEp = ep
 	if !c.resolvePeer() {
@@ -471,9 +493,10 @@ func (c *Conn) resolveFast() bool {
 	return true
 }
 
-func (c *Conn) noFast() bool {
+func (c *Conn) noFast(why simnet.FallbackReason) bool {
 	c.fastNo = true
 	c.fastNoVer = c.ep.net.Version()
+	c.fastNoWhy = why
 	return false
 }
 

@@ -311,3 +311,68 @@ func TestFastPathSlowStartTimingPreserved(t *testing.T) {
 		}
 	}
 }
+
+// TestFastPathFallbackReasonClassification checks the per-reason
+// breakdown of the fallback counter: flipping the path lossy mid-epoch
+// must classify the fallback as "loss", switching the engine off
+// mid-epoch as "disabled", and in both cases the reason counts must sum
+// to the fallback total.
+func TestFastPathFallbackReasonClassification(t *testing.T) {
+	base := fastScenario{seed: 7, delay: 10 * time.Millisecond, size: 100 << 10, mss: 1460, iw: 10}
+
+	// Mid-epoch mutation after the Nth fresh data segment, applied on a
+	// zero-delay event so both lanes see it at the same stream position.
+	midStream := func(apply func(n *simnet.Network)) func(*simnet.Network, *testNet) {
+		return func(n *simnet.Network, tn *testNet) {
+			sent := 0
+			inner := tn.server.Tap
+			tn.server.Tap = func(ev TapEvent) {
+				inner(ev)
+				if ev.Dir == DirSend && len(ev.Segment.Data) > 0 && !ev.Segment.Retrans {
+					if sent == 20 {
+						tn.sim.Schedule(0, func() { apply(n) })
+					}
+					sent++
+				}
+			}
+		}
+	}
+
+	cases := []struct {
+		name   string
+		reason simnet.FallbackReason
+		apply  func(n *simnet.Network)
+	}{
+		{"loss", simnet.FallbackLoss, func(n *simnet.Network) {
+			n.SetPath("s", "c", simnet.PathParams{Delay: 10 * time.Millisecond, LossRate: 0.3})
+		}},
+		{"disabled", simnet.FallbackDisabled, func(n *simnet.Network) {
+			n.SetFastPathEnabled(false)
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var n *simnet.Network
+			mutate := midStream(tc.apply)
+			base.run(t, true, func(net *simnet.Network, tn *testNet) {
+				n = net
+				mutate(net, tn)
+			})
+			st := n.FastPathStats()
+			if st.Fallbacks == 0 {
+				t.Fatalf("%s flip mid-epoch recorded no fallbacks: %+v", tc.name, st)
+			}
+			if st.FallbacksByReason[tc.reason] == 0 {
+				t.Fatalf("%s flip not classified: by-reason %v", tc.name, st.FallbacksByReason)
+			}
+			var sum uint64
+			for _, v := range st.FallbacksByReason {
+				sum += v
+			}
+			if sum != st.Fallbacks {
+				t.Fatalf("by-reason sum %d != fallback total %d (%v)",
+					sum, st.Fallbacks, st.FallbacksByReason)
+			}
+		})
+	}
+}

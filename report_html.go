@@ -47,6 +47,7 @@ figure { margin: 0.8em 0; }
 	r.htmlFig8(bw)
 	r.htmlFig9(bw)
 	htmlMetrics(bw, reg)
+	htmlRuntime(bw, reg)
 	htmlExemplars(bw, exemplars)
 
 	bw.printf("</body>\n</html>\n")
@@ -273,6 +274,49 @@ func htmlFastPath(bw *htmlWriter, reg *MetricsRegistry) {
 	bw.printf("<tr><td class=\"l\">fastpath_epochs</td><td>%s</td></tr>\n", trimFloat(u.Epochs))
 	bw.printf("<tr><td class=\"l\">fastpath_bytes</td><td>%s</td></tr>\n", trimFloat(u.Bytes))
 	bw.printf("<tr><td class=\"l\">fastpath_fallbacks</td><td>%s</td></tr>\n", trimFloat(u.Fallbacks))
+	if u.HasReasons {
+		bw.printf("<tr><td class=\"l\">&nbsp;&nbsp;reason: loss</td><td>%s</td></tr>\n", trimFloat(u.FallbackLoss))
+		bw.printf("<tr><td class=\"l\">&nbsp;&nbsp;reason: topology</td><td>%s</td></tr>\n", trimFloat(u.FallbackTopology))
+		bw.printf("<tr><td class=\"l\">&nbsp;&nbsp;reason: teardown</td><td>%s</td></tr>\n", trimFloat(u.FallbackTeardown))
+		bw.printf("<tr><td class=\"l\">&nbsp;&nbsp;reason: disabled</td><td>%s</td></tr>\n", trimFloat(u.FallbackDisabled))
+	}
+	bw.printf("</table>\n")
+}
+
+// htmlRuntime renders the deterministic engine gauges — scheduler
+// depth watermarks and the per-path snapshot families' siblings — as
+// the report's runtime section. Only sim-time gauges appear here:
+// wall-clock telemetry (heap, GC, events/sec) lives in runtime.jsonl
+// and the -listen endpoints, never in deterministic exports.
+func htmlRuntime(bw *htmlWriter, reg *MetricsRegistry) {
+	if reg == nil {
+		return
+	}
+	var gauges []*obs.Family
+	for _, f := range reg.Families() {
+		// The per-path traffic snapshots are a family per directed
+		// link — thousands of rows at fleet scale; the Prometheus and
+		// JSONL exports carry them in full.
+		if f.Kind == obs.KindGauge && !strings.HasPrefix(f.Name, "net_path_") {
+			gauges = append(gauges, f)
+		}
+	}
+	if len(gauges) == 0 {
+		return
+	}
+	bw.printf("<h2>Engine runtime gauges</h2>\n")
+	bw.printf("<p class=\"note\">deterministic engine state snapshots (value and historical max; after a shard merge each series carries the busiest cell's snapshot — gauges merge by max).</p>\n")
+	bw.printf("<table>\n<tr><th class=\"l\">gauge</th><th class=\"l\">labels</th><th>value</th><th>max</th></tr>\n")
+	for _, f := range gauges {
+		for _, s := range f.Series() {
+			if s.Gauge == nil || (s.Gauge.Value() == 0 && s.Gauge.Max() == 0) {
+				continue
+			}
+			bw.printf("<tr><td class=\"l\">%s</td><td class=\"l\">%s</td><td>%s</td><td>%s</td></tr>\n",
+				viz.Esc(f.Name), viz.Esc(labelSummary(f.LabelNames(), s.LabelValues)),
+				trimFloat(s.Gauge.Value()), trimFloat(s.Gauge.Max()))
+		}
+	}
 	bw.printf("</table>\n")
 }
 

@@ -13,6 +13,7 @@ import (
 	"fesplit/internal/geo"
 	"fesplit/internal/httpsim"
 	"fesplit/internal/obs"
+	rt "fesplit/internal/obs/runtime"
 	"fesplit/internal/shard"
 	"fesplit/internal/simnet"
 	"fesplit/internal/stats"
@@ -63,6 +64,15 @@ type StudyConfig struct {
 	// shard layout: changing it changes the (still deterministic)
 	// figure data, because batches are isolated simulations.
 	NodeBatches int
+	// StreamRecords switches the default-FE campaign (Figures 6–8) to
+	// the streaming record path: each node batch folds its records into
+	// mergeable accumulators (parameter lists, quantile sketches, tail
+	// samplers) at emission time and drops the batch dataset, so the
+	// campaign's live heap is bounded by one batch world instead of the
+	// full record history. Figure output is byte-identical either way;
+	// only exported sketch Sum fields may differ in final-bit float
+	// rounding (merge order). See docs/METRICS.md.
+	StreamRecords bool
 }
 
 // DefaultStudyConfig is the full paper-scale configuration. A complete
@@ -111,6 +121,12 @@ type Study struct {
 	// spawns — a Study is not goroutine-safe, so observation is wired
 	// per cell and merged in canonical order afterwards.
 	obsv *obs.Observer
+	// rt, when non-nil, receives wall-clock engine telemetry (event
+	// rates, heap watermarks, fast-path activity, cell progress) from
+	// every world this study builds. Unlike obsv it is shared across
+	// cells — the engine is atomic — and it is pure observation: every
+	// deterministic output is byte-identical with or without it.
+	rt *rt.Engine
 }
 
 // NewStudy creates a study with the given configuration.
@@ -134,7 +150,7 @@ func (s *Study) boundaryFor(cfg DeploymentConfig) (int, error) {
 		return b, nil
 	}
 	runner, err := emulator.New(s.cfg.Seed+71, cfg,
-		emulator.Options{Nodes: 6, FleetSeed: s.cfg.Seed + 72})
+		emulator.Options{Nodes: 6, FleetSeed: s.cfg.Seed + 72, Runtime: s.rt})
 	if err != nil {
 		return 0, err
 	}
@@ -156,6 +172,16 @@ func (s *Study) boundaryFor(cfg DeploymentConfig) (int, error) {
 // Config returns the study configuration.
 func (s *Study) Config() StudyConfig { return s.cfg }
 
+// SetRuntime attaches an engine-telemetry hub. Every simulated world
+// the study subsequently builds publishes event counts, sim-time
+// progress, fast-path activity and heap samples to it, and the cell
+// matrix reports task progress. Telemetry never feeds back into the
+// simulation: results are byte-identical with or without it.
+func (s *Study) SetRuntime(e *rt.Engine) { s.rt = e }
+
+// Runtime returns the attached telemetry hub (nil when unset).
+func (s *Study) Runtime() *rt.Engine { return s.rt }
+
 // serviceConfigs returns the two deployments under study.
 func (s *Study) serviceConfigs() []DeploymentConfig {
 	return []DeploymentConfig{BingLike(s.cfg.Seed + 1), GoogleLike(s.cfg.Seed + 2)}
@@ -168,6 +194,52 @@ type expAResult struct {
 	nodes    []NodeSummary
 }
 
+// aSink folds one batch's default-FE records into mergeable
+// accumulators at emission time — the streaming alternative to
+// retaining the batch dataset. It applies exactly the skip conditions
+// of analysis.ExtractDataset (failed record, no events, unparseable
+// session), so the concatenated per-batch parameter lists equal the
+// merged-dataset extraction byte for byte; tail offers additionally
+// require an assembled span, mirroring analysis.SampleTails.
+type aSink struct {
+	boundary int
+	po       *analysis.ParamObserver
+	ts       *obs.TailSampler
+	params   []Params
+}
+
+// Consume implements emulator.RecordSink.
+func (k *aSink) Consume(rec *emulator.Record) {
+	if rec.Failed || len(rec.Events) == 0 {
+		return
+	}
+	p, err := analysis.ExtractRecord(*rec, k.boundary)
+	if err != nil {
+		return
+	}
+	k.params = append(k.params, p)
+	k.po.Observe(p)
+	if k.ts != nil && rec.Span != nil {
+		analysis.SampleTail(k.ts, rec, p, DefaultBoundTolerance)
+	}
+}
+
+// expABatches resolves the node-batch count the sharded campaign will
+// use — the same clamping emulator.RunShardedA applies.
+func (s *Study) expABatches() int {
+	k := s.cfg.NodeBatches
+	if k <= 0 {
+		k = emulator.DefaultNodeBatches
+	}
+	if k > s.cfg.Nodes {
+		k = s.cfg.Nodes
+	}
+	if k < 1 {
+		k = 1
+	}
+	return k
+}
+
 // experimentA runs (or returns the cached) default-FE experiment for a
 // service: the fleet split into node batches (each an independent
 // simulated world, see emulator.RunShardedA), merged in batch order.
@@ -175,9 +247,22 @@ type expAResult struct {
 // and the registries merge here — also in batch order — then the
 // session parameters and tail exemplars are fed from the merged
 // dataset, so the observed view is identical for any worker count.
+//
+// With StreamRecords set the campaign instead streams: each batch's
+// records fold into a per-batch aSink (parameters, sketches, tail
+// offers) and the batch dataset is dropped. Batch accumulators merge in
+// batch order, which is exactly equivalent to the serial feed — same
+// parameters, same exemplar selection — so figure output is identical;
+// only the expAResult's dataset is nil (no figure consumes it).
 func (s *Study) experimentA(cfg DeploymentConfig) (*expAResult, error) {
 	if r, ok := s.expA[cfg.Name]; ok {
 		return r, nil
+	}
+	// The boundary probe is an independent world; streaming needs it
+	// before the campaign (records are measured as they are dropped).
+	boundary, err := s.boundaryFor(cfg)
+	if err != nil {
+		return nil, err
 	}
 	sopts := emulator.ShardedAOptions{
 		SimSeed:    s.cfg.Seed + 11,
@@ -190,29 +275,69 @@ func (s *Study) experimentA(cfg DeploymentConfig) (*expAResult, error) {
 		},
 		Batches: s.cfg.NodeBatches,
 		Workers: s.cfg.Workers,
+		Runtime: s.rt,
 	}
+	// batchObsSlots pairs each batch's observer with its sink: Observe
+	// runs at batch start, Sink after the batch's records exist, both on
+	// the batch's own goroutine, and each batch touches only its slot.
+	var batchObsSlots []*obs.Observer
 	if s.obsv != nil {
-		sopts.Observe = func(shard.Batch) *obs.Observer {
-			return obs.NewTailObserver(s.obsv.Tail.Config())
+		if s.cfg.StreamRecords {
+			batchObsSlots = make([]*obs.Observer, s.expABatches())
+		}
+		sopts.Observe = func(b shard.Batch) *obs.Observer {
+			o := obs.NewTailObserver(s.obsv.Tail.Config())
+			if batchObsSlots != nil {
+				batchObsSlots[b.Index] = o
+			}
+			return o
 		}
 	}
-	ds, batchObs, err := emulator.RunShardedA(sopts)
+	if s.cfg.StreamRecords {
+		sopts.Sink = func(b shard.Batch) emulator.RecordSink {
+			k := &aSink{boundary: boundary}
+			if batchObsSlots != nil {
+				o := batchObsSlots[b.Index]
+				k.po = analysis.NewParamObserver(o.Registry(), cfg.Name)
+				k.ts = o.Tail
+			}
+			return k
+		}
+	}
+	ds, batchObs, batchSinks, err := emulator.RunShardedA(sopts)
 	if err != nil {
 		return nil, err
 	}
-	boundary, err := s.boundaryFor(cfg)
-	if err != nil {
-		return nil, err
+	var params []Params
+	if s.cfg.StreamRecords {
+		// Concatenating per-batch accumulators in batch order replays
+		// the serial record order exactly.
+		for _, bs := range batchSinks {
+			params = append(params, bs.(*aSink).params...)
+		}
+	} else {
+		params = analysis.ExtractDataset(ds, boundary)
 	}
-	params := analysis.ExtractDataset(ds, boundary)
 	if s.obsv != nil {
 		for _, o := range batchObs {
 			if err := s.obsv.Reg.Merge(o.Registry()); err != nil {
 				return nil, err
 			}
 		}
-		analysis.ObserveParams(s.obsv.Registry(), cfg.Name, params)
-		analysis.SampleTails(s.obsv.TailSampler(), ds, boundary, DefaultBoundTolerance)
+		if s.cfg.StreamRecords {
+			// Batch tail samplers were fed during the run; fold them
+			// into the study sampler in batch order (equivalent to the
+			// serial Offer sequence — see obs.MergeTailSamplers).
+			samplers := make([]*obs.TailSampler, 0, len(batchObs)+1)
+			samplers = append(samplers, s.obsv.Tail)
+			for _, o := range batchObs {
+				samplers = append(samplers, o.Tail)
+			}
+			s.obsv.Tail = obs.MergeTailSamplers(samplers...)
+		} else {
+			analysis.ObserveParams(s.obsv.Registry(), cfg.Name, params)
+			analysis.SampleTails(s.obsv.TailSampler(), ds, boundary, DefaultBoundTolerance)
+		}
 	}
 	res := &expAResult{
 		ds:       ds,
@@ -240,7 +365,7 @@ type Fig3Data struct {
 func (s *Study) Fig3() (*Fig3Data, error) {
 	cfg := BingLike(s.cfg.Seed + 1)
 	runner, err := emulator.New(s.cfg.Seed+21, cfg,
-		emulator.Options{Nodes: 8, FleetSeed: s.cfg.Seed + 22})
+		emulator.Options{Nodes: 8, FleetSeed: s.cfg.Seed + 22, Runtime: s.rt})
 	if err != nil {
 		return nil, err
 	}
@@ -311,6 +436,10 @@ func (s *Study) Fig4() ([]Fig4Row, error) {
 	}
 	sim := simnet.New(s.cfg.Seed + 31)
 	net := simnet.NewNetwork(sim)
+	if s.rt != nil {
+		sim.SetRuntime(s.rt)
+		net.SetRuntime(s.rt)
+	}
 	spec := workload.DefaultContentSpec("bing-like")
 	if _, err := backend.New(net, "be", geo.Site{Name: "be"}, spec,
 		backend.BingCostModel(), backend.Options{}, s.cfg.Seed+32); err != nil {
@@ -365,6 +494,10 @@ func (s *Study) Fig4() ([]Fig4Row, error) {
 func (s *Study) CaptureSession(rtt time.Duration) (*Trace, error) {
 	sim := simnet.New(s.cfg.Seed + 35)
 	net := simnet.NewNetwork(sim)
+	if s.rt != nil {
+		sim.SetRuntime(s.rt)
+		net.SetRuntime(s.rt)
+	}
 	spec := workload.DefaultContentSpec("bing-like")
 	if _, err := backend.New(net, "be", geo.Site{Name: "be"}, spec,
 		backend.BingCostModel(), backend.Options{}, s.cfg.Seed+36); err != nil {
@@ -436,6 +569,7 @@ func (s *Study) fig5For(cfg DeploymentConfig) (*Fig5Data, error) {
 	// with full payloads.
 	runner, err := emulator.New(s.cfg.Seed+41, cfg, emulator.Options{
 		Nodes: s.cfg.Nodes, FleetSeed: s.cfg.Seed + 42, SnapPayloads: true,
+		Runtime: s.rt,
 	})
 	if err != nil {
 		return nil, err
@@ -655,7 +789,7 @@ func (s *Study) fig9Setups() []fig9Setup {
 // cell of Figure 9.
 func (s *Study) fig9For(setup fig9Setup) (*Fig9Data, error) {
 	runner, err := emulator.New(s.cfg.Seed+51, setup.cfg,
-		emulator.Options{Nodes: s.cfg.Nodes, FleetSeed: s.cfg.Seed + 52})
+		emulator.Options{Nodes: s.cfg.Nodes, FleetSeed: s.cfg.Seed + 52, Runtime: s.rt})
 	if err != nil {
 		return nil, err
 	}
@@ -719,7 +853,7 @@ func (s *Study) cachingRun(cache bool) (CacheVerdict, error) {
 		cfg.BEOptions = backend.Options{CacheResults: true, CacheHitTime: 2 * time.Millisecond}
 	}
 	runner, err := emulator.New(s.cfg.Seed+61, cfg,
-		emulator.Options{Nodes: min(s.cfg.Nodes, 40), FleetSeed: s.cfg.Seed + 62})
+		emulator.Options{Nodes: min(s.cfg.Nodes, 40), FleetSeed: s.cfg.Seed + 62, Runtime: s.rt})
 	if err != nil {
 		return CacheVerdict{}, err
 	}

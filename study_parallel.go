@@ -192,6 +192,7 @@ func (s *Study) runMatrix(observed bool) (*StudyOutput, error) {
 		i, c := i, c
 		tasks[i] = shard.Task{Name: c.name, Run: func() error {
 			cs := NewStudy(s.cfg)
+			cs.rt = s.rt // shared telemetry hub — atomic, pure observation
 			if observed {
 				cs.obsv = obs.NewTailObserver(obs.TailConfig{})
 				obsvs[i] = cs.obsv
@@ -201,7 +202,12 @@ func (s *Study) runMatrix(observed bool) (*StudyOutput, error) {
 			return c.run(cs, res)
 		}}
 	}
-	if err := shard.Run(s.cfg.Workers, tasks); err != nil {
+	var progress shard.Progress
+	if s.rt != nil {
+		s.rt.AddTasks(len(tasks))
+		progress = s.rt
+	}
+	if err := shard.RunProgress(s.cfg.Workers, tasks, progress); err != nil {
 		return nil, err
 	}
 

@@ -1,0 +1,171 @@
+package fesplit
+
+import (
+	"bytes"
+	goruntime "runtime"
+	"strings"
+	"testing"
+)
+
+// TestTelemetryDeterminismNeutral is the telemetry PR's headline
+// property: attaching a runtime engine — heartbeats, heap sampling,
+// task progress, fast-path publication — changes no exported byte, at
+// any worker count. Telemetry observes the simulation; it never feeds
+// back.
+func TestTelemetryDeterminismNeutral(t *testing.T) {
+	const seed = 3
+	run := func(workers int, attach bool) (map[string][]byte, *RuntimeEngine) {
+		cfg := LightStudyConfig(seed)
+		cfg.Workers = workers
+		s := NewStudy(cfg)
+		var eng *RuntimeEngine
+		if attach {
+			eng = NewRuntimeEngine()
+			s.SetRuntime(eng)
+		}
+		out, err := s.RunAllObserved()
+		if err != nil {
+			t.Fatalf("workers %d attach %v: %v", workers, attach, err)
+		}
+		return exportAll(t, out), eng
+	}
+
+	plain, _ := run(4, false)
+	observed1, eng1 := run(1, true)
+	observed4, eng4 := run(4, true)
+
+	for name, want := range plain {
+		for label, got := range map[string][]byte{
+			"telemetry w1": observed1[name],
+			"telemetry w4": observed4[name],
+		} {
+			if !bytes.Equal(want, got) {
+				t.Errorf("%s differs from plain run under %s (%d vs %d bytes)",
+					name, label, len(want), len(got))
+			}
+		}
+	}
+	if len(plain["metrics.jsonl"]) == 0 || len(plain["fig7.csv"]) == 0 {
+		t.Fatal("equivalence vacuous — empty artifacts")
+	}
+
+	// The engines must actually have seen the run, or the comparison
+	// above proves nothing about telemetry.
+	for label, eng := range map[string]*RuntimeEngine{"w1": eng1, "w4": eng4} {
+		snap := eng.Snapshot()
+		if snap.Events == 0 {
+			t.Errorf("%s: engine saw no simulator events", label)
+		}
+		if snap.Tasks.Total == 0 || snap.Tasks.Done != snap.Tasks.Total {
+			t.Errorf("%s: task progress %d/%d, want all done and nonzero",
+				label, snap.Tasks.Done, snap.Tasks.Total)
+		}
+		if snap.HeapWatermarkBytes == 0 {
+			t.Errorf("%s: no heap watermark recorded", label)
+		}
+		if snap.SimSeconds <= 0 {
+			t.Errorf("%s: no simulated time published", label)
+		}
+	}
+}
+
+// TestStreamingMatchesAccumulatingFigures: the streaming record path
+// must produce figure CSVs and the text report byte-identical to the
+// record-accumulating path (the sketch Sum fields in the metrics dumps
+// may differ in final-bit rounding between the two feed orders, so full
+// artifact equality is only promised within a mode — checked below for
+// workers 1 vs 4).
+func TestStreamingMatchesAccumulatingFigures(t *testing.T) {
+	const seed = 11
+	run := func(stream bool, workers int) (map[string][]byte, *RuntimeEngine) {
+		cfg := LightStudyConfig(seed)
+		cfg.Workers = workers
+		cfg.StreamRecords = stream
+		s := NewStudy(cfg)
+		eng := NewRuntimeEngine()
+		s.SetRuntime(eng)
+		out, err := s.RunAllObserved()
+		if err != nil {
+			t.Fatalf("stream %v workers %d: %v", stream, workers, err)
+		}
+		return exportAll(t, out), eng
+	}
+
+	acc, _ := run(false, 4)
+	stream4, eng4 := run(true, 4)
+
+	// Across modes: every figure CSV and the text report.
+	figures := 0
+	for name, want := range acc {
+		if !strings.HasSuffix(name, ".csv") && name != "report.txt" {
+			continue
+		}
+		if strings.HasSuffix(name, ".csv") {
+			figures++
+		}
+		if !bytes.Equal(want, stream4[name]) {
+			t.Errorf("%s differs between accumulating and streaming modes (%d vs %d bytes)",
+				name, len(want), len(stream4[name]))
+		}
+	}
+	if figures == 0 {
+		t.Fatal("no figure CSVs compared — equivalence vacuous")
+	}
+
+	// Within streaming mode: full artifact byte-equality across worker
+	// counts, exactly the guarantee the accumulating path already has.
+	stream1, _ := run(true, 1)
+	for name, want := range stream1 {
+		if !bytes.Equal(want, stream4[name]) {
+			t.Errorf("streaming %s differs between workers=1 and workers=4", name)
+		}
+	}
+
+	if eng4.Records() == 0 {
+		t.Error("streaming run reported zero records through the sink")
+	}
+}
+
+// TestStreamingHeapWatermarkBound pins the memory claim: at an elevated
+// fleet scale, the streaming record path must hold its heap watermark
+// at least 5× below the record-accumulating path for the same
+// campaign, while (per the test above) producing identical figures.
+// Watermarks are measured net of a GC'd pre-run baseline so earlier
+// tests' residue cannot flatter either side.
+func TestStreamingHeapWatermarkBound(t *testing.T) {
+	if testing.Short() {
+		t.Skip("elevated-scale campaign in -short mode")
+	}
+	measure := func(stream bool) uint64 {
+		cfg := LightStudyConfig(99)
+		cfg.Nodes = 64
+		cfg.QueriesPerNodeA = 40
+		cfg.NodeBatches = 16
+		cfg.Workers = 1
+		cfg.StreamRecords = stream
+		s := NewStudy(cfg)
+		eng := NewRuntimeEngine()
+		s.SetRuntime(eng)
+		goruntime.GC()
+		goruntime.GC()
+		base := eng.SampleMem()
+		if _, err := s.experimentA(BingLike(cfg.Seed + 1)); err != nil {
+			t.Fatalf("stream %v: %v", stream, err)
+		}
+		wm := eng.HeapWatermark()
+		if wm <= base {
+			t.Fatalf("stream %v: watermark %d never rose above baseline %d", stream, wm, base)
+		}
+		return wm - base
+	}
+
+	streaming := measure(true)
+	accumulating := measure(false)
+	t.Logf("net heap watermark: accumulating %.1f MiB, streaming %.1f MiB (%.1fx)",
+		float64(accumulating)/(1<<20), float64(streaming)/(1<<20),
+		float64(accumulating)/float64(streaming))
+	if accumulating < 5*streaming {
+		t.Errorf("streaming watermark %d not 5x below accumulating %d (%.1fx)",
+			streaming, accumulating, float64(accumulating)/float64(streaming))
+	}
+}
