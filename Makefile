@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet bench bench-json bench-compare check report report-full examples clean fuzz-smoke equivalence fastpath-check telemetry-smoke
+.PHONY: all build test vet bench bench-json bench-compare check report report-full examples clean fuzz-smoke equivalence fastpath-check telemetry-smoke profile-smoke
 
 all: build vet test
 
@@ -28,7 +28,7 @@ bench-compare:
 	$(GO) run ./cmd/benchjson -benchtime 100ms -o bench-check.json \
 		-compare $(BENCH_BASELINE) -warn-only
 
-BENCH_BASELINE ?= BENCH_6.json
+BENCH_BASELINE ?= BENCH_7.json
 
 # Fast-forward engine equivalence gate: the differential property test
 # (randomized RTT/loss/size/cwnd scenarios, fast lane vs packet lane),
@@ -54,6 +54,13 @@ fuzz-smoke:
 # only, so nothing here diffs against deterministic artifacts.
 telemetry-smoke: build
 	./scripts/telemetry_smoke.sh ./bin/fesplit
+
+# Critical-path profiler / regression-gate smoke, end to end through
+# the CLI: two same-seed profiled runs must diff clean (exit 0) and a
+# run with an injected 2× BE slowdown must fail the gate (nonzero)
+# with a verdict naming the be-proc phase. See docs/PROFILING.md.
+profile-smoke: build
+	./scripts/profile_smoke.sh ./bin/fesplit
 
 # Serial/parallel equivalence, end to end through the CLI: the full
 # observed study exported twice — one worker, then four — must be
@@ -88,7 +95,7 @@ bench:
 	$(GO) test -bench=. -benchmem ./...
 
 # Perf-trajectory snapshot: root study benchmarks plus the simnet and
-# tcpsim micro-benchmarks, recorded as BENCH_6.json (name → ns/op,
+# tcpsim micro-benchmarks, recorded as BENCH_7.json (name → ns/op,
 # B/op, allocs/op). Later PRs diff new snapshots against this file.
 #
 # The `[^4]$` bench regexp drops BenchmarkStudyRunAllWorkers4 — the
@@ -97,7 +104,7 @@ bench:
 # not depend on the runner's core count, and the parallel runner's
 # correctness is already pinned byte-for-byte by `make equivalence`.
 bench-json:
-	$(GO) run ./cmd/benchjson -bench '[^4]$$' -o BENCH_6.json
+	$(GO) run ./cmd/benchjson -bench '[^4]$$' -o BENCH_7.json
 
 # Light-scale figure regeneration (seconds).
 report: build

@@ -12,6 +12,9 @@
 //	fesplit decode       FILE
 //	fesplit obs          [-seed N] [-service google|bing] [-nodes N] [-dir DIR]
 //	             [-tail-pct P] [-max-exemplars N] [-bound-tol D] [-full-spans]
+//	fesplit profile      [-seed N] [-scale light|full] [-workers N] [-node-batches K]
+//	             [-stream] [-dir DIR] [-top N] [-be-slowdown F]
+//	fesplit diff         [-rel-pct P] [-abs S] [-quantiles Q,Q] [-family PFX,PFX] OLD NEW
 //	fesplit interactive  [-seed N] [-q KEYWORDS]
 //	fesplit live         [-seed N] [-proc MS] [-oneway MS] [-n QUERIES]
 package main
@@ -51,6 +54,10 @@ func main() {
 		err = cmdDecode(os.Args[2:])
 	case "obs":
 		err = cmdObs(os.Args[2:])
+	case "profile":
+		err = cmdProfile(os.Args[2:])
+	case "diff":
+		err = cmdDiff(os.Args[2:])
 	case "interactive":
 		err = cmdInteractive(os.Args[2:])
 	case "live":
@@ -87,6 +94,15 @@ commands:
   obs          run a seeded observed experiment and export Chrome trace,
                Prometheus + JSONL metrics, tail-sampled JSONL spans and
                an HTML report
+  profile      run the observed study and attribute every sim-nanosecond
+               of query time to an exclusive critical-path phase: top-N
+               blame table per service (stderr + profile.csv), lossless
+               metrics.jsonl for 'fesplit diff', phase waterfalls in
+               report.html; byte-identical for any -workers value
+  diff         compare two profiled runs sketch-by-sketch (quantile
+               deltas with relative + absolute thresholds); prints a
+               verdict table and exits nonzero on regression — the
+               CI perf gate (see docs/PROFILING.md)
   interactive  run the Section-6 search-as-you-type probe
   live         run the architecture over real TCP sockets (loopback)
 

@@ -91,10 +91,13 @@ func cmdObs(args []string) error {
 		QuerySeed:      *seed + 2,
 	})
 
-	// Analysis-layer observability: session-parameter sketches plus the
-	// tail-sampling pass (Tdynamic drives both).
+	// Analysis-layer observability: session-parameter sketches, the
+	// critical-path phase attribution (which annotates span trees with
+	// cp:* waterfalls, so it runs before tail sampling and export),
+	// then the tail-sampling pass (Tdynamic drives both).
 	params := fesplit.ExtractDataset(ds, 0)
 	fesplit.ObserveSessionParams(o.Registry(), ds.Service, params)
+	attributed := fesplit.ObserveCriticalPath(o.Registry(), ds.Service, ds, 0)
 	var exemplars []fesplit.Exemplar
 	spans := o.Spans
 	if !*fullSpans {
@@ -138,6 +141,16 @@ func cmdObs(args []string) error {
 	fmt.Printf("  records: %d (%d failed), spans: %d, metric families: %d\n",
 		len(ds.Records), countFailed(ds), spans.Len(), len(o.Reg.Families()))
 	fmt.Println(metricsSummary(o.Reg))
+	fmt.Printf("  critical path: %d records attributed (run 'fesplit profile' for the blame table)\n",
+		attributed)
+	if u, ok := fesplit.FastPathUsageFrom(o.Reg); ok {
+		fmt.Printf("  fast path: %.0f epochs, %.0f bytes bypassed the event heap, %.0f fallbacks\n",
+			u.Epochs, u.Bytes, u.Fallbacks)
+		if u.HasReasons {
+			fmt.Printf("  fast path fallbacks by reason: loss %.0f, topology %.0f, teardown %.0f, disabled %.0f\n",
+				u.FallbackLoss, u.FallbackTopology, u.FallbackTeardown, u.FallbackDisabled)
+		}
+	}
 	for _, out := range files {
 		fmt.Printf("  wrote %s\n", filepath.Join(*dir, out.name))
 	}

@@ -179,11 +179,25 @@ func NewObserver() *Observer { return obs.NewObserver() }
 // default for large campaigns.
 func NewTailObserver(cfg TailConfig) *Observer { return obs.NewTailObserver(cfg) }
 
+// NewMetricsRegistry returns an empty deterministic metrics registry.
+func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
+
 // ObserveSessionParams feeds measured per-session parameters into the
 // registry's dimensional quantile sketches, labeled by service and
 // phase (rtt, tstatic, tdynamic, tdelta, overall).
 func ObserveSessionParams(reg *MetricsRegistry, service string, params []Params) {
 	analysis.ObserveParams(reg, service, params)
+}
+
+// ObserveCriticalPath attributes every measurable record of a dataset
+// to exclusive critical-path phases (internal/obs/critpath) and folds
+// the results into the registry's critpath_phase_seconds /
+// critpath_fetch_seconds sketches. Records' span trees gain cp:*
+// waterfall annotations, so call it before tail sampling and span
+// export. boundary ≤ 0 derives the content boundary from the dataset.
+// Returns how many records were attributed. See docs/PROFILING.md.
+func ObserveCriticalPath(reg *MetricsRegistry, service string, ds *Dataset, boundary int) int {
+	return analysis.ObserveCritPath(reg, service, ds, boundary)
 }
 
 // SampleTails offers every measurable record of a dataset to the tail

@@ -1,0 +1,124 @@
+package analysis
+
+import (
+	"time"
+
+	"fesplit/internal/emulator"
+	"fesplit/internal/obs"
+	"fesplit/internal/obs/critpath"
+	"fesplit/internal/trace"
+)
+
+// CritObserver holds the pre-resolved critical-path sketches for one
+// (registry, service) pair: one critpath_phase_seconds child per
+// exclusive phase, the fetch estimate vs FE ground truth, and the
+// conservation self-check counters. Zero value (nil registry) observes
+// nothing. Like ParamObserver it is built once per batch/cell and fed
+// per record, so streaming and accumulating runs fold the exact same
+// sequence of observations.
+type CritObserver struct {
+	phases  [critpath.NumPhases]*obs.Sketch
+	est     *obs.Sketch
+	truth   *obs.Sketch
+	records *obs.Counter
+	breaks  *obs.Counter
+}
+
+// NewCritObserver resolves the critical-path sketches for service on
+// reg (nil reg → inert observer).
+func NewCritObserver(reg *obs.Registry, service string) *CritObserver {
+	co := &CritObserver{}
+	if reg == nil {
+		return co
+	}
+	v := reg.SketchVec("critpath_phase_seconds",
+		"exclusive critical-path phase attribution of end-to-end query time",
+		obs.DefaultSketchAlpha, "service", "phase")
+	for ph := 0; ph < critpath.NumPhases; ph++ {
+		co.phases[ph] = v.With(service, critpath.Phase(ph).String())
+	}
+	f := reg.SketchVec("critpath_fetch_seconds",
+		"FE-BE fetch time: client-side critical-path estimate vs FE ground truth",
+		obs.DefaultSketchAlpha, "service", "source")
+	co.est = f.With(service, "estimate")
+	co.truth = f.With(service, "truth")
+	co.records = reg.CounterVec("critpath_records_total",
+		"records attributed by the critical-path profiler", "service").With(service)
+	co.breaks = reg.CounterVec("critpath_conservation_breaks_total",
+		"records whose phase sum missed the end-to-end total (must stay 0)",
+		"service").With(service)
+	return co
+}
+
+// Observe folds one record's attribution into the sketches. Every
+// phase is observed (zeros included), so all phase sketches share one
+// count and sketch Sum ratios read directly as blame shares.
+func (co *CritObserver) Observe(a critpath.Attribution, trueFetch time.Duration) {
+	if co == nil || co.records == nil {
+		return
+	}
+	co.records.Inc()
+	if !a.Conserved() {
+		co.breaks.Inc()
+	}
+	for ph, d := range a.Phases {
+		co.phases[ph].Observe(d.Seconds())
+	}
+	co.est.Observe(a.FetchEstimate.Seconds())
+	if trueFetch > 0 {
+		co.truth.Observe(trueFetch.Seconds())
+	}
+}
+
+// AttributeRecord computes the exclusive critical-path attribution of
+// one record and annotates it onto the record's span tree (cp:* child
+// spans + fetch-estimate attr), so exporters and tail exemplars carry
+// the waterfall. Records that cannot be attributed — failed, span-less,
+// unparseable, or without a locatable content boundary — return ok
+// false and are left untouched.
+func AttributeRecord(rr *emulator.Record, boundary int) (critpath.Attribution, bool) {
+	if rr.Failed || rr.Span == nil || len(rr.Events) == 0 || boundary <= 0 {
+		return critpath.Attribution{}, false
+	}
+	s, err := trace.Parse(rr.Key, rr.Events)
+	if err != nil {
+		return critpath.Attribution{}, false
+	}
+	if err := s.Locate(boundary); err != nil {
+		return critpath.Attribution{}, false
+	}
+	a := critpath.Attribute(rr.Span, critpath.Timeline{
+		TB: s.TB, T1: s.T1, T2: s.T2, T3: s.T3,
+		T4: s.T4, T5: s.T5, TE: s.TE, RTT: s.RTT,
+	})
+	critpath.Annotate(rr.Span, a)
+	return a, true
+}
+
+// ObserveCritPath attributes every measurable record of a dataset and
+// folds the results into the registry's critical-path sketches.
+// boundary ≤ 0 derives the static/dynamic content boundary from the
+// dataset first. Returns how many records were attributed. Call it
+// before tail sampling so retained exemplar spans carry the cp:*
+// waterfall annotations.
+func ObserveCritPath(reg *obs.Registry, service string, ds *emulator.Dataset, boundary int) int {
+	if reg == nil {
+		return 0
+	}
+	if boundary <= 0 {
+		boundary = BoundaryFromDataset(ds)
+		if boundary <= 0 {
+			return 0
+		}
+	}
+	co := NewCritObserver(reg, service)
+	n := 0
+	for i := range ds.Records {
+		rr := &ds.Records[i]
+		if a, ok := AttributeRecord(rr, boundary); ok {
+			co.Observe(a, rr.TrueFetch)
+			n++
+		}
+	}
+	return n
+}

@@ -13,6 +13,7 @@ package emulator
 
 import (
 	"fmt"
+	"strconv"
 	"time"
 
 	"fesplit/internal/capture"
@@ -353,6 +354,7 @@ func (r *Runner) observe(ds *Dataset) {
 	}
 	tracer := o.Tracer()
 	logs := make(map[simnet.HostID]map[feLogKey][]frontend.FetchRecord, len(r.Dep.FEs))
+	links := make(map[simnet.HostID]beLink, len(r.Dep.FEs))
 	for _, fe := range r.Dep.FEs {
 		m := make(map[feLogKey][]frontend.FetchRecord)
 		for _, fr := range fe.FetchLog() {
@@ -360,15 +362,27 @@ func (r *Runner) observe(ds *Dataset) {
 			m[k] = append(m[k], fr)
 		}
 		logs[fe.Host()] = m
+		if be := r.Dep.BEOf(fe); be != nil {
+			links[fe.Host()] = beLink{be: be.Host(), rtt: r.Net.RTT(fe.Host(), be.Host())}
+		}
 	}
 	for i := range ds.Records {
 		rr := &ds.Records[i]
 		if rr.Failed || rr.Span != nil || rr.Key == (capture.ConnKey{}) {
 			continue
 		}
-		rr.Span = r.assembleSpan(rr, logs[rr.FE])
+		rr.Span = r.assembleSpan(rr, logs[rr.FE], links[rr.FE])
 		tracer.Add(rr.Span)
 	}
+}
+
+// beLink is the FE's assigned back-end and the base FE↔BE round-trip
+// propagation delay, annotated onto fe-fetch spans so the critical-path
+// attribution (internal/obs/critpath) can split the fetch window into
+// backbone propagation vs BE processing.
+type beLink struct {
+	be  simnet.HostID
+	rtt time.Duration
 }
 
 // observePhases feeds the dimensional quantile sketches: per-phase
@@ -414,7 +428,7 @@ func (r *Runner) observePhases(ds *Dataset) {
 // a span tree: client-side phases from the parsed packet session, plus
 // the FE's hidden ground truth (static flush, FE↔BE fetch) on a second
 // track. As a side effect it fills Record.TrueFetch from the FE log.
-func (r *Runner) assembleSpan(rr *Record, feLog map[feLogKey][]frontend.FetchRecord) *obs.Span {
+func (r *Runner) assembleSpan(rr *Record, feLog map[feLogKey][]frontend.FetchRecord, link beLink) *obs.Span {
 	start := rr.IssuedAt - rr.DNSTime
 	root := &obs.Span{
 		Name:  "query",
@@ -443,6 +457,10 @@ func (r *Runner) assembleSpan(rr *Record, feLog map[feLogKey][]frontend.FetchRec
 		if fr.FetchDone > 0 {
 			c := root.Child("fe-fetch", fr.Arrived, fr.FetchDone)
 			c.Track = "frontend"
+			if link.be != "" {
+				c.SetAttr("be", string(link.be))
+				c.SetAttr("be_rtt_ns", strconv.FormatInt(int64(link.rtt), 10))
+			}
 			rr.TrueFetch = fr.FetchDone - fr.Arrived
 		}
 	}

@@ -37,7 +37,7 @@ func TestFetchJoinSurvivesPortReuse(t *testing.T) {
 		Node: "node-1", FE: "svc-fe-x", Key: key,
 		IssuedAt: 900 * time.Millisecond, DoneAt: 1500 * time.Millisecond,
 	}
-	if span := r.assembleSpan(recEarly, feLog); span.Find("fe-fetch") == nil {
+	if span := r.assembleSpan(recEarly, feLog, beLink{}); span.Find("fe-fetch") == nil {
 		t.Fatal("early record joined no fetch span")
 	}
 	if want := 200 * time.Millisecond; recEarly.TrueFetch != want {
@@ -49,7 +49,7 @@ func TestFetchJoinSurvivesPortReuse(t *testing.T) {
 		Node: "node-1", FE: "svc-fe-x", Key: key,
 		IssuedAt: 60900 * time.Millisecond, DoneAt: 61700 * time.Millisecond,
 	}
-	if span := r.assembleSpan(recLate, feLog); span.Find("fe-fetch") == nil {
+	if span := r.assembleSpan(recLate, feLog, beLink{}); span.Find("fe-fetch") == nil {
 		t.Fatal("late record joined no fetch span")
 	}
 	if want := 400 * time.Millisecond; recLate.TrueFetch != want {
@@ -63,7 +63,7 @@ func TestFetchJoinSurvivesPortReuse(t *testing.T) {
 		Node: "node-1", FE: "svc-fe-x", Key: key,
 		IssuedAt: 30 * time.Second, DoneAt: 31 * time.Second,
 	}
-	if span := r.assembleSpan(recMiss, feLog); span.Find("fe-fetch") != nil {
+	if span := r.assembleSpan(recMiss, feLog, beLink{}); span.Find("fe-fetch") != nil {
 		t.Error("record outside both sessions still joined a fetch span")
 	}
 	if recMiss.TrueFetch != 0 {

@@ -1,0 +1,189 @@
+package critpath
+
+import (
+	"math/rand"
+	"strconv"
+	"testing"
+	"time"
+
+	"fesplit/internal/obs"
+)
+
+// randTimeline builds a plausible (monotone) session timeline with
+// jittered gaps, then — for a third of the cases — deliberately
+// scrambles one cut point to exercise the clamping paths.
+func randTimeline(rng *rand.Rand) (Timeline, time.Duration, time.Duration) {
+	ms := func(lo, hi int) time.Duration {
+		return time.Duration(lo+rng.Intn(hi-lo+1)) * time.Millisecond
+	}
+	dns := time.Duration(0)
+	if rng.Intn(2) == 0 {
+		dns = ms(1, 40)
+	}
+	tb := dns + ms(0, 5)
+	rtt := ms(2, 120)
+	t1 := tb + rtt + ms(0, 2)
+	t2 := t1 + rtt/2 + ms(0, 10)
+	t3 := t2 + ms(0, 20)
+	t4 := t3 + ms(0, 30)
+	t5 := t4 + ms(1, 200)
+	te := t5 + ms(0, 50)
+	end := te + ms(0, 5)
+	tl := Timeline{TB: tb, T1: t1, T2: t2, T3: t3, T4: t4, T5: t5, TE: te, RTT: rtt}
+	if rng.Intn(3) == 0 { // degenerate: one cut point out of order
+		switch rng.Intn(4) {
+		case 0:
+			tl.T3 = tl.T5 + ms(1, 10)
+		case 1:
+			tl.T1 = 0
+		case 2:
+			tl.T4 = tl.T2 - ms(0, 5)
+		case 3:
+			tl.TB = end + ms(1, 10)
+		}
+	}
+	return tl, dns, end
+}
+
+// buildSpan mimics the emulator's assembleSpan for a timeline.
+func buildSpan(rng *rand.Rand, tl Timeline, dns, end time.Duration) *Span {
+	root := &Span{Name: "query", Track: "client", Start: 0, End: end}
+	if dns > 0 {
+		root.Child("dns-resolve", 0, dns)
+	}
+	root.Child("tcp-handshake", tl.TB, tl.TB+tl.RTT)
+	root.Child("get-request", tl.T1, tl.T3)
+	root.Child("delivery", tl.T3, tl.TE)
+	if rng.Intn(4) != 0 { // most records have a matched FE-side span
+		arr := tl.T2 - tl.RTT/2
+		if arr < tl.T1 {
+			arr = tl.T1
+		}
+		fe := root.Child(FetchSpan, arr, tl.T5-tl.RTT/2)
+		fe.Track = "frontend"
+		if rng.Intn(3) != 0 {
+			beRTT := time.Duration(rng.Intn(40)+1) * time.Millisecond
+			fe.SetAttr(AttrBERTT, strconv.FormatInt(int64(beRTT), 10))
+		}
+	}
+	return root
+}
+
+type Span = obs.Span
+
+// TestAttributeConservation is the core property test: for random
+// (including degenerate) timelines, phases partition the root span
+// exactly, segments are contiguous, and the fetch estimate respects
+// the paper's [Tdelta, Tdynamic] inference bounds.
+func TestAttributeConservation(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 5000; i++ {
+		tl, dns, end := randTimeline(rng)
+		root := buildSpan(rng, tl, dns, end)
+		a := Attribute(root, tl)
+
+		if !a.Conserved() {
+			t.Fatalf("case %d: phases sum %v != total %v (tl=%+v)", i, a.Sum(), a.Total, tl)
+		}
+		if a.Total != root.End-root.Start {
+			t.Fatalf("case %d: total %v != span dur %v", i, a.Total, root.Dur())
+		}
+		cur := root.Start
+		for j, seg := range a.Segments {
+			if seg.Start != cur {
+				t.Fatalf("case %d: segment %d starts at %v, want %v (gap)", i, j, seg.Start, cur)
+			}
+			if seg.End <= seg.Start {
+				t.Fatalf("case %d: segment %d empty or negative: %+v", i, j, seg)
+			}
+			cur = seg.End
+		}
+		if len(a.Segments) > 0 && cur != root.End {
+			t.Fatalf("case %d: segments end at %v, want %v", i, cur, root.End)
+		}
+		for ph, d := range a.Phases {
+			if d < 0 {
+				t.Fatalf("case %d: negative phase %s: %v", i, Phase(ph), d)
+			}
+		}
+		if a.FetchEstimate < 0 {
+			t.Fatalf("case %d: negative fetch estimate %v", i, a.FetchEstimate)
+		}
+		if a.Tdelta >= 0 && a.Tdynamic >= a.Tdelta {
+			// Well-formed window → the paper's inference bounds hold.
+			if a.FetchEstimate < a.Tdelta || a.FetchEstimate > a.Tdynamic {
+				t.Fatalf("case %d: fetch estimate %v outside [%v, %v]",
+					i, a.FetchEstimate, a.Tdelta, a.Tdynamic)
+			}
+		}
+		// The fetch window split never exceeds the annotated BE RTT.
+		if a.BERTT > 0 && a.Phases[PhaseBERTT] > a.BERTT {
+			t.Fatalf("case %d: be-rtt phase %v > BE RTT %v", i, a.Phases[PhaseBERTT], a.BERTT)
+		}
+	}
+}
+
+func TestAttributeWellFormedTimeline(t *testing.T) {
+	ms := func(n int) time.Duration { return time.Duration(n) * time.Millisecond }
+	tl := Timeline{
+		TB: ms(10), T1: ms(50), T2: ms(70), T3: ms(75),
+		T4: ms(90), T5: ms(170), TE: ms(180), RTT: ms(40),
+	}
+	root := &Span{Name: "query", Start: 0, End: ms(185)}
+	root.Child("dns-resolve", 0, ms(10))
+	fe := root.Child(FetchSpan, ms(70), ms(170))
+	fe.SetAttr(AttrBERTT, strconv.FormatInt(int64(ms(30)), 10))
+
+	a := Attribute(root, tl)
+	want := map[Phase]time.Duration{
+		PhaseDNS:             ms(10),
+		PhaseHandshake:       ms(40),
+		PhaseRequest:         ms(20), // T1 → FE arrival (fe span start 70)
+		PhaseFEStatic:        ms(5),  // FE arrival → T3
+		PhaseStaticDelivery:  ms(15),
+		PhaseBERTT:           ms(30),
+		PhaseBEProc:          ms(50),
+		PhaseDynamicDelivery: ms(10),
+		PhaseResidual:        ms(5), // TE → span end
+	}
+	for ph, w := range want {
+		if a.Phases[ph] != w {
+			t.Errorf("phase %s = %v, want %v", ph, a.Phases[ph], w)
+		}
+	}
+	if !a.Conserved() {
+		t.Fatalf("sum %v != total %v", a.Sum(), a.Total)
+	}
+	if a.ArrivalInferred {
+		t.Fatal("arrival inferred despite fe-fetch span")
+	}
+	// Estimate: T5 − feArr − RTT/2 = 170 − 70 − 20 = 80ms; bounds
+	// [Tdelta, Tdynamic] = [80, 100] — inside, no clamping.
+	if a.FetchEstimate != ms(80) {
+		t.Fatalf("fetch estimate = %v, want 80ms", a.FetchEstimate)
+	}
+}
+
+func TestAnnotateIdempotent(t *testing.T) {
+	ms := func(n int) time.Duration { return time.Duration(n) * time.Millisecond }
+	tl := Timeline{TB: 0, T1: ms(10), T2: ms(15), T3: ms(16), T4: ms(20), T5: ms(60), TE: ms(65), RTT: ms(10)}
+	root := &Span{Name: "query", Start: 0, End: ms(65)}
+	a := Attribute(root, tl)
+	Annotate(root, a)
+	n := len(root.Children)
+	if n != len(a.Segments) {
+		t.Fatalf("annotated %d children, want %d segments", n, len(a.Segments))
+	}
+	if _, ok := attr(root, attrFetchEst); !ok {
+		t.Fatal("root missing fetch-estimate attr")
+	}
+	Annotate(root, a) // second call must not duplicate
+	if len(root.Children) != n {
+		t.Fatalf("re-annotation grew children %d → %d", n, len(root.Children))
+	}
+	for _, c := range root.Children {
+		if c.Track != AnnotationTrack {
+			t.Fatalf("cp child %q on track %q", c.Name, c.Track)
+		}
+	}
+}

@@ -8,8 +8,11 @@ import (
 )
 
 // buildTestTrace assembles a two-query tracer resembling the
-// emulator's output: client-side phases on the node track, the FE
-// fetch on the FE track.
+// emulator's output after critical-path annotation: client-side phases
+// on the node track, the FE fetch (with its BE link attribution) on
+// the FE track, and the cp:* waterfall segments on the critpath track
+// (the shapes internal/obs/critpath.Annotate produces — built by hand
+// here because obs cannot import critpath from an in-package test).
 func buildTestTrace() *Tracer {
 	tr := NewTracer()
 	for q := 0; q < 2; q++ {
@@ -20,13 +23,27 @@ func buildTestTrace() *Tracer {
 			Start: base, End: base + 300*time.Millisecond,
 		}
 		root.SetAttr("keywords", `cloud "performance"`)
+		root.SetAttr("cp_fetch_est_ns", "80000000")
 		root.Child("handshake", base, base+40*time.Millisecond)
 		root.Child("request", base+40*time.Millisecond, base+90*time.Millisecond)
 		fe := &Span{
 			Name: "fe-fetch", Track: "fe-chicago", Key: key,
 			Start: base + 60*time.Millisecond, End: base + 250*time.Millisecond,
 		}
+		fe.SetAttr("be", "be-dc-east")
+		fe.SetAttr("be_rtt_ns", "20000000")
 		root.Children = append(root.Children, fe)
+		for _, seg := range []struct {
+			name     string
+			from, to time.Duration
+		}{
+			{"cp:handshake", 0, 40 * time.Millisecond},
+			{"cp:be-proc", 40 * time.Millisecond, 250 * time.Millisecond},
+			{"cp:residual", 250 * time.Millisecond, 300 * time.Millisecond},
+		} {
+			c := root.Child(seg.name, base+seg.from, base+seg.to)
+			c.Track = "critpath"
+		}
 		tr.Add(root)
 	}
 	return tr
@@ -73,9 +90,16 @@ func TestChromeTraceRoundTrip(t *testing.T) {
 	if want := tr.Len(); spans != want {
 		t.Fatalf("exported %d spans, want %d", spans, want)
 	}
-	// Two queries × two tracks each → four threads.
-	if len(lastTs) != 4 {
-		t.Fatalf("got %d threads, want 4", len(lastTs))
+	// Two queries × three tracks each (client, FE, critpath) → six
+	// threads.
+	if len(lastTs) != 6 {
+		t.Fatalf("got %d threads, want 6", len(lastTs))
+	}
+	// Attribution fields ride the args payload.
+	for _, field := range []string{`"be_rtt_ns":"20000000"`, `"cp_fetch_est_ns":"80000000"`} {
+		if !strings.Contains(b.String(), field) {
+			t.Fatalf("chrome trace missing attribution field %s", field)
+		}
 	}
 }
 
@@ -107,6 +131,99 @@ func TestJSONLRoundTrip(t *testing.T) {
 	}
 	if child["parent"] != "query" {
 		t.Fatalf("child parent = %v, want query", child["parent"])
+	}
+	// Attribution fields round-trip: the root's fetch estimate, the
+	// fe-fetch BE link, and the cp:* waterfall spans on their track.
+	var root map[string]interface{}
+	if err := json.Unmarshal([]byte(lines[0]), &root); err != nil {
+		t.Fatal(err)
+	}
+	if root["attr_cp_fetch_est_ns"] != "80000000" {
+		t.Fatalf("root attr_cp_fetch_est_ns = %v", root["attr_cp_fetch_est_ns"])
+	}
+	cpSpans, feAttrs := 0, 0
+	for _, line := range lines {
+		var obj map[string]interface{}
+		if err := json.Unmarshal([]byte(line), &obj); err != nil {
+			t.Fatal(err)
+		}
+		if obj["track"] == "critpath" {
+			cpSpans++
+			if name, _ := obj["name"].(string); !strings.HasPrefix(name, "cp:") {
+				t.Fatalf("critpath-track span named %q", name)
+			}
+		}
+		if obj["name"] == "fe-fetch" {
+			if obj["attr_be_rtt_ns"] != "20000000" || obj["attr_be"] != "be-dc-east" {
+				t.Fatalf("fe-fetch missing BE attribution: %s", line)
+			}
+			feAttrs++
+		}
+	}
+	if cpSpans != 6 || feAttrs != 2 {
+		t.Fatalf("got %d cp spans and %d attributed fetches, want 6 and 2", cpSpans, feAttrs)
+	}
+}
+
+// TestChromeTraceCrossShardOrdering pins the merged-tracer contract:
+// per-batch tracers folded in canonical shard order (the study's merge
+// path) export a Chrome trace that is deterministic, strict JSON, and
+// time-monotone within every thread — even though across shards the
+// roots' absolute times interleave arbitrarily.
+func TestChromeTraceCrossShardOrdering(t *testing.T) {
+	buildShard := func(shard int) *Tracer {
+		tr := NewTracer()
+		for q := 0; q < 3; q++ {
+			// Shard 1's times deliberately start before shard 0's.
+			base := time.Duration(q)*400*time.Millisecond +
+				time.Duration(1-shard)*150*time.Millisecond
+			root := &Span{
+				Name: "query", Track: "client-1",
+				Key:   ConnKey{Remote: "fe", LocalPort: uint16(shard*100 + q), RemotePort: 80},
+				Start: base, End: base + 100*time.Millisecond,
+			}
+			c := root.Child("cp:be-proc", base+10*time.Millisecond, base+90*time.Millisecond)
+			c.Track = "critpath"
+			tr.Add(root)
+		}
+		return tr
+	}
+	render := func() string {
+		merged := NewTracer()
+		for shard := 0; shard < 2; shard++ {
+			for _, r := range buildShard(shard).Roots() {
+				merged.Add(r)
+			}
+		}
+		var b strings.Builder
+		if err := WriteChromeTrace(&b, merged); err != nil {
+			t.Fatal(err)
+		}
+		return b.String()
+	}
+	out := render()
+	if out != render() {
+		t.Fatal("merged chrome trace not deterministic")
+	}
+	var doc chromeDoc
+	if err := json.Unmarshal([]byte(out), &doc); err != nil {
+		t.Fatalf("merged chrome trace is not strict JSON: %v", err)
+	}
+	spans := 0
+	lastTs := map[[2]int]float64{}
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph != "X" {
+			continue
+		}
+		spans++
+		track := [2]int{ev.Pid, ev.Tid}
+		if prev, ok := lastTs[track]; ok && ev.Ts < prev {
+			t.Fatalf("ts not monotone on track %v: %v after %v", track, ev.Ts, prev)
+		}
+		lastTs[track] = ev.Ts
+	}
+	if spans != 12 {
+		t.Fatalf("exported %d spans, want 12", spans)
 	}
 }
 

@@ -221,6 +221,15 @@ func (s *Sketch) Sum() float64 {
 	return s.sk.Sum()
 }
 
+// Mean returns the arithmetic mean of all samples (0 on nil or
+// empty).
+func (s *Sketch) Mean() float64 {
+	if s == nil {
+		return 0
+	}
+	return s.sk.Mean()
+}
+
 // Underlying exposes the wrapped stats.Sketch for export and merging
 // (nil on a nil instrument).
 func (s *Sketch) Underlying() *stats.Sketch {

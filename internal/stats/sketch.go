@@ -111,6 +111,16 @@ func (s *Sketch) Count() uint64 { return s.count }
 // Sum returns the sum of all values added.
 func (s *Sketch) Sum() float64 { return s.sum }
 
+// Mean returns the arithmetic mean of all values added (0 when
+// empty). Exact, not a bucket estimate: the sketch tracks the true
+// running sum alongside the geometric bucket counts.
+func (s *Sketch) Mean() float64 {
+	if s.count == 0 {
+		return 0
+	}
+	return s.sum / float64(s.count)
+}
+
 // Min returns the smallest value added (0 when empty).
 func (s *Sketch) Min() float64 {
 	if s.count == 0 {

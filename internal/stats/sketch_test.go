@@ -95,7 +95,7 @@ func TestSketchMergeOrderIndependent(t *testing.T) {
 
 func TestSketchEdgeCases(t *testing.T) {
 	sk := NewSketch(0.01)
-	if sk.Quantile(0.5) != 0 || sk.Count() != 0 || sk.Min() != 0 || sk.Max() != 0 {
+	if sk.Quantile(0.5) != 0 || sk.Count() != 0 || sk.Min() != 0 || sk.Max() != 0 || sk.Mean() != 0 {
 		t.Fatal("empty sketch must read zero")
 	}
 	sk.Add(0)
@@ -122,6 +122,15 @@ func TestSketchEdgeCases(t *testing.T) {
 		if relErr(one.Quantile(q), 42) > 0.01 {
 			t.Fatalf("single-value quantile(%v) = %v", q, one.Quantile(q))
 		}
+	}
+
+	// Mean is exact (true running sum), not a bucket estimate.
+	m := NewSketch(0.01)
+	for _, v := range []float64{1, 2, 3, 10} {
+		m.Add(v)
+	}
+	if got := m.Mean(); got != 4 {
+		t.Fatalf("mean = %v, want exactly 4", got)
 	}
 }
 

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"fesplit/internal/obs"
+	"fesplit/internal/obs/critpath"
 	"fesplit/internal/viz"
 )
 
@@ -46,6 +47,7 @@ figure { margin: 0.8em 0; }
 	r.htmlFig7(bw)
 	r.htmlFig8(bw)
 	r.htmlFig9(bw)
+	htmlCritPath(bw, reg, exemplars)
 	htmlMetrics(bw, reg)
 	htmlRuntime(bw, reg)
 	htmlExemplars(bw, exemplars)
@@ -255,6 +257,65 @@ func htmlMetrics(bw *htmlWriter, reg *MetricsRegistry) {
 			}
 		}
 		bw.printf("</table>\n")
+	}
+}
+
+// htmlCritPath renders the critical-path profiler's output: the
+// per-service phase-blame table and — for tail exemplars whose spans
+// carry cp:* annotations — the attribution waterfall, each query's
+// end-to-end time partitioned into exclusive phases. Skipped when the
+// registry carries no critpath sketches (unprofiled runs).
+func htmlCritPath(bw *htmlWriter, reg *MetricsRegistry, exemplars []Exemplar) {
+	if reg == nil {
+		return
+	}
+	rows := ProfileFromMetrics(reg)
+	if len(rows) == 0 {
+		return
+	}
+	bw.printf("<h2>Critical-path attribution</h2>\n")
+	bw.printf("<p class=\"note\">every sim-nanosecond of each query attributed to exactly one phase (phases sum to the end-to-end time; see docs/PROFILING.md). Share is the phase's fraction of the service's total attributed time.</p>\n")
+	bw.printf("<table>\n<tr><th class=\"l\">service</th><th class=\"l\">phase</th><th>count</th><th>mean ms</th><th>p50 ms</th><th>p90 ms</th><th>p99 ms</th><th>share</th></tr>\n")
+	for _, r := range rows {
+		bw.printf("<tr><td class=\"l\">%s</td><td class=\"l\">%s</td><td>%d</td><td>%s</td><td>%s</td><td>%s</td><td>%s</td><td>%.2f%%</td></tr>\n",
+			viz.Esc(r.Service), viz.Esc(r.Phase), r.Count,
+			trimFloat(r.MeanMS), trimFloat(r.P50MS), trimFloat(r.P90MS),
+			trimFloat(r.P99MS), r.SharePct)
+	}
+	bw.printf("</table>\n")
+
+	// Phase waterfalls of the slowest annotated exemplars: only the
+	// cp:* rows, so the flame view reads as a pure partition.
+	const maxWaterfalls = 6
+	shown := 0
+	for _, e := range exemplars {
+		if shown >= maxWaterfalls {
+			break
+		}
+		if e.Span == nil {
+			continue
+		}
+		var segs []viz.Interval
+		base := e.Span.Start
+		for _, c := range e.Span.Children {
+			if c.Track != critpath.AnnotationTrack {
+				continue
+			}
+			segs = append(segs, viz.Interval{
+				Track: "critical path",
+				Name:  strings.TrimPrefix(c.Name, "cp:"),
+				Start: float64(c.Start-base) / float64(time.Millisecond),
+				End:   float64(c.End-base) / float64(time.Millisecond),
+			})
+		}
+		if len(segs) == 0 {
+			continue
+		}
+		shown++
+		bw.printf("<figure>%s</figure>\n", viz.Timeline(segs, viz.Options{
+			Title:  fmt.Sprintf("phase waterfall — exemplar #%d (Tdynamic %.1f ms)", e.Seq, 1000*e.Value),
+			XLabel: "ms since query start", Width: 900,
+		}))
 	}
 }
 

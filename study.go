@@ -73,6 +73,12 @@ type StudyConfig struct {
 	// only exported sketch Sum fields may differ in final-bit float
 	// rounding (merge order). See docs/METRICS.md.
 	StreamRecords bool
+	// BESlowdown, when > 0 and ≠ 1, scales both deployments' BE
+	// processing-cost model (base and per-term) by this factor — a
+	// controlled latency-regression injection for exercising the
+	// `fesplit diff` gate (the be-proc critical-path phase must move,
+	// nothing else should). Zero leaves the calibrated models untouched.
+	BESlowdown float64
 }
 
 // DefaultStudyConfig is the full paper-scale configuration. A complete
@@ -182,9 +188,17 @@ func (s *Study) SetRuntime(e *rt.Engine) { s.rt = e }
 // Runtime returns the attached telemetry hub (nil when unset).
 func (s *Study) Runtime() *rt.Engine { return s.rt }
 
-// serviceConfigs returns the two deployments under study.
+// serviceConfigs returns the two deployments under study, with the
+// configured BE-slowdown injection (if any) applied to both.
 func (s *Study) serviceConfigs() []DeploymentConfig {
-	return []DeploymentConfig{BingLike(s.cfg.Seed + 1), GoogleLike(s.cfg.Seed + 2)}
+	cfgs := []DeploymentConfig{BingLike(s.cfg.Seed + 1), GoogleLike(s.cfg.Seed + 2)}
+	if f := s.cfg.BESlowdown; f > 0 && f != 1 {
+		for i := range cfgs {
+			cfgs[i].Cost.Base = time.Duration(float64(cfgs[i].Cost.Base) * f)
+			cfgs[i].Cost.PerTerm = time.Duration(float64(cfgs[i].Cost.PerTerm) * f)
+		}
+	}
+	return cfgs
 }
 
 type expAResult struct {
@@ -204,6 +218,7 @@ type expAResult struct {
 type aSink struct {
 	boundary int
 	po       *analysis.ParamObserver
+	co       *analysis.CritObserver
 	ts       *obs.TailSampler
 	params   []Params
 }
@@ -219,6 +234,13 @@ func (k *aSink) Consume(rec *emulator.Record) {
 	}
 	k.params = append(k.params, p)
 	k.po.Observe(p)
+	// Critical-path attribution annotates the span before the tail
+	// sampler can retain it, so exemplars carry the cp:* waterfall.
+	if k.co != nil {
+		if a, ok := analysis.AttributeRecord(rec, k.boundary); ok {
+			k.co.Observe(a, rec.TrueFetch)
+		}
+	}
 	if k.ts != nil && rec.Span != nil {
 		analysis.SampleTail(k.ts, rec, p, DefaultBoundTolerance)
 	}
@@ -299,6 +321,7 @@ func (s *Study) experimentA(cfg DeploymentConfig) (*expAResult, error) {
 			if batchObsSlots != nil {
 				o := batchObsSlots[b.Index]
 				k.po = analysis.NewParamObserver(o.Registry(), cfg.Name)
+				k.co = analysis.NewCritObserver(o.Registry(), cfg.Name)
 				k.ts = o.Tail
 			}
 			return k
@@ -336,6 +359,9 @@ func (s *Study) experimentA(cfg DeploymentConfig) (*expAResult, error) {
 			s.obsv.Tail = obs.MergeTailSamplers(samplers...)
 		} else {
 			analysis.ObserveParams(s.obsv.Registry(), cfg.Name, params)
+			// Attribute (and annotate spans) before tail sampling, so
+			// retained exemplars carry the cp:* waterfall.
+			analysis.ObserveCritPath(s.obsv.Registry(), cfg.Name, ds, boundary)
 			analysis.SampleTails(s.obsv.TailSampler(), ds, boundary, DefaultBoundTolerance)
 		}
 	}
