@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet bench bench-json bench-compare check report report-full examples clean fuzz-smoke equivalence fastpath-check telemetry-smoke profile-smoke
+.PHONY: all build test vet bench bench-json bench-compare check report report-full examples clean fuzz-smoke equivalence fastpath-check telemetry-smoke profile-smoke queueing-check
 
 all: build vet test
 
@@ -46,6 +46,17 @@ fastpath-check:
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzPrometheusLabelEscape -fuzztime 10s ./internal/obs
 	$(GO) test -run '^$$' -fuzz FuzzMetricsJSONLRoundTrip -fuzztime 10s ./internal/obs
+
+# Load-aware queueing gate: the Lindley/M-D-1 property tests, the
+# zero-load byte-identity degeneracy, FE admission control and
+# retry/backoff at an elevated -count under the race detector, the
+# overload/hotspot/failover/capacity scenario determinism check, the
+# golden-CSV gate that pins those cells, and a short fuzz pass over the
+# FE admission control. See docs/QUEUEING.md.
+queueing-check:
+	$(GO) test -race -count=3 ./internal/backend ./internal/frontend
+	$(GO) test -race -count=2 -run 'TestQueueScenariosDeterministic|TestGoldenFigureCSVs' .
+	$(GO) test -run '^$$' -fuzz FuzzAdmissionControl -fuzztime 10s ./internal/frontend
 
 # Runtime-telemetry smoke, end to end through the CLI: a short study
 # with heartbeat, streaming sink and the HTTP endpoint all on; scrapes

@@ -150,6 +150,58 @@ func (r *Report) WriteCSVs(dir string) error {
 			return err
 		}
 	}
+	bucketRows := func(service string, buckets []QueueBucket) [][]string {
+		var rows [][]string
+		for _, b := range buckets {
+			rows = append(rows, []string{
+				service, f64(b.StartS),
+				fmt.Sprint(b.Offered), fmt.Sprint(b.OK),
+				fmt.Sprint(b.Degraded), fmt.Sprint(b.Rejected),
+				f64(b.P50Ms), f64(b.P99Ms),
+				fmt.Sprint(b.QueueDepth), f64(b.Utilization),
+			})
+		}
+		return rows
+	}
+	bucketHeader := []string{"service", "start_s", "offered", "ok", "degraded",
+		"rejected", "p50_tdyn_ms", "p99_tdyn_ms", "queue_depth", "utilization"}
+
+	if r.Overload != nil {
+		if err := w("overload.csv", bucketHeader,
+			bucketRows(r.Overload.Service, r.Overload.Buckets)); err != nil {
+			return err
+		}
+	}
+	if r.Hotspot != nil {
+		if err := w("hotspot.csv", bucketHeader,
+			bucketRows(r.Hotspot.Service, r.Hotspot.Buckets)); err != nil {
+			return err
+		}
+	}
+	if r.Failover != nil {
+		if err := w("failover.csv", bucketHeader,
+			bucketRows(r.Failover.Service, r.Failover.Buckets)); err != nil {
+			return err
+		}
+	}
+	if r.Capacity != nil {
+		var rows [][]string
+		for _, p := range r.Capacity.Points {
+			rows = append(rows, []string{
+				r.Capacity.Service, fmt.Sprint(p.Replicas),
+				fmt.Sprint(p.Offered), fmt.Sprint(p.OK),
+				f64(p.Utilization), fmt.Sprint(p.MaxQueueDepth),
+				f64(p.P50Ms), f64(p.P99Ms),
+				f64(r.Capacity.SLOMs), fmt.Sprint(p.MeetsSLO),
+			})
+		}
+		if err := w("capacity.csv",
+			[]string{"service", "replicas", "offered", "ok", "utilization",
+				"max_queue_depth", "p50_tdyn_ms", "p99_tdyn_ms", "slo_ms",
+				"meets_slo"}, rows); err != nil {
+			return err
+		}
+	}
 	if r.Caching != nil {
 		rows := [][]string{
 			{"deployed", f64(r.Caching.Deployed.KS),

@@ -13,6 +13,7 @@ package backend
 
 import (
 	"math/rand"
+	"strconv"
 	"time"
 
 	"fesplit/internal/geo"
@@ -25,6 +26,12 @@ import (
 
 // BEPort is the HTTP port data centers listen on (FE-facing).
 const BEPort = 8080
+
+// QueueWaitHeader carries the time a query spent queued behind the BE
+// cluster's replicas, in integer nanoseconds, on 200 responses. It is
+// emitted ONLY when the wait is nonzero, so an unloaded cluster's wire
+// bytes stay byte-identical to the queue-less data center's.
+const QueueWaitHeader = "X-Queue-Wait"
 
 // Options configures a data center beyond its cost model.
 type Options struct {
@@ -57,6 +64,14 @@ type Options struct {
 	// appropriate for warm intra-cloud FE connections; the no-FE
 	// baseline sets the era-faithful IW=3 (RFC 3390) instead.
 	TCP tcpsim.Config
+	// Queue, when Queue.Replicas > 0, replaces the implicit FIFO with
+	// the replicated multi-server queue model (see queue.go and
+	// docs/QUEUEING.md): per-replica Lindley queueing, a cluster load
+	// balancer, a bounded backlog with 503 rejection, and the queue
+	// wait reported on the QueueWaitHeader. The zero value keeps the
+	// legacy fixed-Tproc path; Workers is ignored when the cluster is
+	// enabled (the replica count bounds concurrency instead).
+	Queue QueueOptions
 }
 
 func (o Options) withDefaults() Options {
@@ -91,10 +106,14 @@ type DataCenter struct {
 	busy  int
 	queue []beJob
 
+	// replicated queue model (Options.Queue.Replicas > 0)
+	cluster *Cluster
+
 	// counters
 	served    int
 	cacheHits int
 	maxQueue  int
+	rejected  int
 
 	// observability (StartObserving)
 	met *beMetrics
@@ -125,6 +144,10 @@ func New(n *simnet.Network, host simnet.HostID, site geo.Site, spec workload.Con
 		tcpCfg = tcpsim.Config{InitialCwnd: 10} // warm intra-cloud connections
 	}
 	dc.ep = tcpsim.NewEndpoint(n, host, tcpCfg)
+	if dc.opts.Queue.Replicas > 0 {
+		dc.cluster = newCluster(dc.ep.Sim(), dc.opts.Queue)
+		dc.cluster.onChange = dc.refreshQueueGauges
+	}
 	if _, err := httpsim.NewServer(dc.ep, BEPort, dc.handle); err != nil {
 		return nil, err
 	}
@@ -206,11 +229,48 @@ func (dc *DataCenter) handle(w *httpsim.ResponseWriter, r *httpsim.Request) {
 }
 
 func (dc *DataCenter) respondAfter(w *httpsim.ResponseWriter, body []byte, d time.Duration) {
+	if dc.cluster != nil {
+		ok := dc.cluster.Submit(d, func(wait time.Duration) {
+			hdr := httpsim.ContentLengthHeader(len(body))
+			if wait > 0 {
+				// Report the queue share of the fetch so the FE (and the
+				// critical-path attribution downstream) can split Tfetch
+				// into queueing vs processing. Emitted only when nonzero:
+				// an unloaded cluster's responses stay byte-identical to
+				// the queue-less path.
+				hdr[QueueWaitHeader] = strconv.FormatInt(int64(wait), 10)
+			}
+			w.WriteHeader(200, hdr)
+			w.Write(body)
+			w.End()
+		})
+		if !ok {
+			dc.rejected++
+			if m := dc.met; m != nil {
+				m.rejections.Inc()
+			}
+			w.WriteHeader(503, httpsim.ContentLengthHeader(0))
+			w.End()
+		}
+		return
+	}
 	dc.runJob(d, func() {
 		w.WriteHeader(200, httpsim.ContentLengthHeader(len(body)))
 		w.Write(body)
 		w.End()
 	})
+}
+
+// refreshQueueGauges mirrors the cluster's state into the registry after
+// every transition (no-op when unobserved).
+func (dc *DataCenter) refreshQueueGauges() {
+	m := dc.met
+	if m == nil || dc.cluster == nil {
+		return
+	}
+	m.queueDepth.Set(float64(dc.cluster.Waiting()))
+	m.concurrency.Set(float64(dc.cluster.Busy()))
+	m.utilization.Set(float64(dc.cluster.Busy()) / float64(dc.cluster.Replicas()))
 }
 
 // runJob occupies a worker for proc, then runs done. With a bounded
@@ -250,8 +310,22 @@ func (dc *DataCenter) startJob(proc time.Duration, done func()) {
 }
 
 // MaxQueueLen returns the deepest backlog observed (0 with an unbounded
-// pool).
-func (dc *DataCenter) MaxQueueLen() int { return dc.maxQueue }
+// pool). With the replicated queue model enabled it reports the
+// cluster's backlog instead of the legacy worker pool's.
+func (dc *DataCenter) MaxQueueLen() int {
+	if dc.cluster != nil {
+		return dc.cluster.MaxQueueLen()
+	}
+	return dc.maxQueue
+}
+
+// Rejected returns the number of queries refused with a 503 at the
+// cluster queue cap (0 without the queue model).
+func (dc *DataCenter) Rejected() int { return dc.rejected }
+
+// Cluster exposes the replicated queue model (nil unless
+// Options.Queue.Replicas > 0) for scenario probes and tests.
+func (dc *DataCenter) Cluster() *Cluster { return dc.cluster }
 
 // BingCostModel is the calibrated Bing-like back-end: large, variable
 // processing times (paper Figure 9 intercept ≈ 260 ms; Figures 7-8 show

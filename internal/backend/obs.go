@@ -12,6 +12,8 @@ type beMetrics struct {
 	procSeconds *obs.Histogram
 	concurrency *obs.Gauge
 	queueDepth  *obs.Gauge
+	utilization *obs.Gauge
+	rejections  *obs.Counter
 }
 
 // StartObserving wires this data center into the observer's registry,
@@ -34,5 +36,10 @@ func (dc *DataCenter) StartObserving(o *obs.Observer) {
 			"queries concurrently occupying BE workers", "be", "site").With(host, site),
 		queueDepth: reg.GaugeVec("be_queue_depth",
 			"queries queued behind the BE worker pool", "be", "site").With(host, site),
+		utilization: reg.GaugeVec("be_utilization",
+			"fraction of cluster replicas currently in service (queue model)",
+			"be", "site").With(host, site),
+		rejections: reg.CounterVec("be_rejections_total",
+			"queries rejected with 503 at the cluster queue cap", "be", "site").With(host, site),
 	}
 }

@@ -1,0 +1,206 @@
+// Replicated multi-server queue model for a back-end data center.
+//
+// The paper's inference framework treats Tproc as load-independent, but
+// its Figure-9 discussion attributes Bing's higher fetch variability to
+// "the load on servers at the data centers". This file makes that load
+// mechanistic: a data center becomes a cluster of N replicas behind a
+// load balancer, each replica a deterministic single-server FIFO in
+// virtual time. A query's sojourn follows the Lindley recurrence —
+// start = max(arrival, replica free time), wait = start − arrival —
+// so Tproc inflates exactly as utilization approaches 1, queues blow up
+// under traffic spikes, and a bounded queue rejects (503) once the
+// cluster-wide backlog hits its cap. Everything runs in sim time on the
+// deterministic event heap: equal seeds reproduce identical queueing.
+//
+// The model follows the replicated-cluster capacity analysis of
+// "Capacity Planning for Vertical Search Engines" (see PAPERS.md and
+// docs/QUEUEING.md); ROADMAP item 2.
+package backend
+
+import (
+	"time"
+
+	"fesplit/internal/simnet"
+)
+
+// LBPolicy selects the replica a new query is dispatched to.
+type LBPolicy uint8
+
+const (
+	// RoundRobin cycles through replicas in index order.
+	RoundRobin LBPolicy = iota
+	// LeastOutstanding dispatches to the replica with the fewest
+	// assigned-but-unfinished queries (lowest index on ties) — the
+	// join-the-shortest-queue policy real BE load balancers approximate.
+	LeastOutstanding
+)
+
+// String returns the policy's stable label.
+func (p LBPolicy) String() string {
+	switch p {
+	case RoundRobin:
+		return "round-robin"
+	case LeastOutstanding:
+		return "least-outstanding"
+	}
+	return "unknown"
+}
+
+// QueueOptions configures the replicated queue model of a data center.
+// The zero value (Replicas == 0) disables it: the data center keeps the
+// legacy fixed-Tproc path (plus the Options.Workers FIFO, if set), and
+// every pre-existing figure stays byte-identical.
+type QueueOptions struct {
+	// Replicas is the number of identical servers in the cluster. Each
+	// query occupies exactly one replica for its sampled service time.
+	Replicas int
+	// QueueCap bounds the cluster-wide backlog of dispatched-but-not-
+	// started queries. A query arriving with the backlog at the cap is
+	// rejected with a 503. 0 = unbounded.
+	QueueCap int
+	// Policy is the dispatch policy (default RoundRobin).
+	Policy LBPolicy
+}
+
+// replica is one server of the cluster: a deterministic FIFO in virtual
+// time. freeAt is when its last assigned query finishes; outstanding
+// counts assigned-but-unfinished queries (the LeastOutstanding signal).
+type replica struct {
+	freeAt      time.Duration
+	outstanding int
+}
+
+// Cluster is the replicated multi-server queue of one data center.
+// Dispatch happens at arrival (queries never migrate between replicas),
+// which keeps the model a pure function of the arrival/service sequence:
+// per-query sojourn obeys the Lindley recurrence on its replica.
+type Cluster struct {
+	sim      *simnet.Sim
+	replicas []replica
+	policy   LBPolicy
+	queueCap int
+	rr       int
+
+	waiting  int // dispatched, waiting for the replica to free up
+	busy     int // in service across all replicas
+	rejected int
+	maxQueue int
+	busyTime time.Duration // accumulated service time of finished queries
+
+	// onChange refreshes the owner's gauges after any state transition
+	// (nil when unobserved).
+	onChange func()
+}
+
+// newCluster builds the queue model. Callers guarantee opts.Replicas > 0.
+func newCluster(sim *simnet.Sim, opts QueueOptions) *Cluster {
+	return &Cluster{
+		sim:      sim,
+		replicas: make([]replica, opts.Replicas),
+		policy:   opts.Policy,
+		queueCap: opts.QueueCap,
+	}
+}
+
+// pick selects the replica for a new arrival.
+func (c *Cluster) pick() int {
+	if c.policy == LeastOutstanding {
+		best := 0
+		for i := 1; i < len(c.replicas); i++ {
+			if c.replicas[i].outstanding < c.replicas[best].outstanding {
+				best = i
+			}
+		}
+		return best
+	}
+	i := c.rr % len(c.replicas)
+	c.rr++
+	return i
+}
+
+// Submit dispatches one query with the given service time. It returns
+// false when the cluster-wide backlog is at its cap (the query is
+// rejected and consumes nothing); otherwise done(wait) runs when service
+// completes, with wait the time the query spent queued before starting.
+//
+// A query that starts immediately (its replica is free) schedules
+// exactly one event, at now+proc — the same single event the legacy
+// fixed-Tproc path schedules, which is what makes an unloaded cluster
+// byte-identical to the queue-less data center.
+func (c *Cluster) Submit(proc time.Duration, done func(wait time.Duration)) bool {
+	now := c.sim.Now()
+	i := c.pick()
+	r := &c.replicas[i]
+	start := now
+	if r.freeAt > start {
+		if c.queueCap > 0 && c.waiting >= c.queueCap {
+			c.rejected++
+			c.refresh()
+			return false
+		}
+		start = r.freeAt
+	}
+	wait := start - now
+	r.freeAt = start + proc
+	r.outstanding++
+	finish := func() {
+		c.busy--
+		c.busyTime += proc
+		c.replicas[i].outstanding--
+		c.refresh()
+		done(wait)
+	}
+	if wait == 0 {
+		c.busy++
+		c.refresh()
+		c.sim.Schedule(proc, finish)
+		return true
+	}
+	c.waiting++
+	if c.waiting > c.maxQueue {
+		c.maxQueue = c.waiting
+	}
+	c.refresh()
+	c.sim.Schedule(wait, func() {
+		c.waiting--
+		c.busy++
+		c.refresh()
+	})
+	c.sim.Schedule(wait+proc, finish)
+	return true
+}
+
+func (c *Cluster) refresh() {
+	if c.onChange != nil {
+		c.onChange()
+	}
+}
+
+// Replicas returns the cluster size.
+func (c *Cluster) Replicas() int { return len(c.replicas) }
+
+// Waiting returns the current dispatched-but-not-started backlog.
+func (c *Cluster) Waiting() int { return c.waiting }
+
+// Busy returns the number of queries currently in service.
+func (c *Cluster) Busy() int { return c.busy }
+
+// Rejected returns the number of queries refused at the queue cap.
+func (c *Cluster) Rejected() int { return c.rejected }
+
+// MaxQueueLen returns the deepest backlog observed.
+func (c *Cluster) MaxQueueLen() int { return c.maxQueue }
+
+// BusyTime returns the total service time of finished queries across
+// all replicas.
+func (c *Cluster) BusyTime() time.Duration { return c.busyTime }
+
+// Utilization returns the cluster's average utilization over an
+// elapsed sim-time window: completed service time divided by total
+// replica capacity.
+func (c *Cluster) Utilization(elapsed time.Duration) float64 {
+	if elapsed <= 0 || len(c.replicas) == 0 {
+		return 0
+	}
+	return float64(c.busyTime) / (float64(elapsed) * float64(len(c.replicas)))
+}

@@ -51,6 +51,10 @@ type Config struct {
 	// FEWorkers bounds concurrent request processing per FE (0 =
 	// unlimited): mechanistic queueing under overload.
 	FEWorkers int
+	// FEPool bounds each FE's BE connection pool with admission control
+	// and 503 retry/backoff (zero value = legacy unbounded pool). Pairs
+	// with BEOptions.Queue for the load-aware back-end scenarios.
+	FEPool frontend.PoolConfig
 	// Gzip makes FEs serve compressed responses (static and dynamic
 	// portions as concatenated gzip members).
 	Gzip bool
@@ -109,6 +113,7 @@ func Build(n *simnet.Network, cfg Config) (*Deployment, error) {
 			Gzip:            cfg.Gzip,
 			Seed:            cfg.Seed + int64(2000+i),
 			TCP:             cfg.FETCP,
+			BEPool:          cfg.FEPool,
 		})
 		if err != nil {
 			return nil, err
@@ -164,6 +169,32 @@ func (d *Deployment) FEByHost(host simnet.HostID) *frontend.Server {
 // BEOf returns the data center serving the given FE.
 func (d *Deployment) BEOf(fe *frontend.Server) *backend.DataCenter {
 	return d.nearestBE(fe.Site().Point)
+}
+
+// WireFEBE lays a backbone path between an FE and an arbitrary BE of
+// the deployment, using the deployment's calibrated backbone delay
+// model, jitter and loss — the prerequisite for failing the FE over to
+// a non-nearest data center (frontend.Server.SetBEHost). Build only
+// wires each FE to its nearest BE.
+func (d *Deployment) WireFEBE(fe *frontend.Server, be *backend.DataCenter) {
+	d.Net.SetLink(fe.Host(), be.Host(), simnet.PathParams{
+		Delay:    d.cfg.BackboneDelay.OneWayBetween(fe.Site().Point, be.Site().Point),
+		Jitter:   d.cfg.FEBEJitter,
+		LossRate: d.cfg.FEBELoss,
+	})
+}
+
+// FarthestBE returns the data center farthest from p — the worst-case
+// failover target.
+func (d *Deployment) FarthestBE(p geo.Point) *backend.DataCenter {
+	best := d.BEs[0]
+	bestD := geo.DistanceMiles(p, best.Site().Point)
+	for _, dc := range d.BEs[1:] {
+		if dd := geo.DistanceMiles(p, dc.Site().Point); dd > bestD {
+			best, bestD = dc, dd
+		}
+	}
+	return best
 }
 
 // WireClient connects a client host at point p to every FE of the

@@ -461,6 +461,11 @@ func (r *Runner) assembleSpan(rr *Record, feLog map[feLogKey][]frontend.FetchRec
 				c.SetAttr("be", string(link.be))
 				c.SetAttr("be_rtt_ns", strconv.FormatInt(int64(link.rtt), 10))
 			}
+			if fr.QueueWait > 0 {
+				// BE-reported cluster queueing inside the fetch window,
+				// powering the be-queue critical-path phase.
+				c.SetAttr("be_queue_ns", strconv.FormatInt(int64(fr.QueueWait), 10))
+			}
 			rr.TrueFetch = fr.FetchDone - fr.Arrived
 		}
 	}
@@ -596,6 +601,79 @@ func (r *Runner) RunKeepAliveA(opts AOptions) *Dataset {
 	}
 	r.observe(ds)
 	return ds
+}
+
+// OpenLoopOptions parameterize an open-loop arrival campaign: every
+// node issues queries on its own fixed schedule regardless of
+// completions, so offered load is a pure function of the options — the
+// harness for the overload, hotspot and failover scenarios against
+// queue-enabled back ends (docs/QUEUEING.md).
+type OpenLoopOptions struct {
+	// FE, when set, is the fixed front-end every node queries;
+	// nil → each node's default (nearest) FE.
+	FE *frontend.Server
+	// Queries is the corpus nodes cycle through (generated granular
+	// corpus of QueriesPerNode when empty).
+	Queries        []workload.Query
+	QueriesPerNode int
+	QuerySeed      int64
+	// Horizon is the arrival horizon: nodes stop issuing at this sim
+	// time (completions may land later).
+	Horizon time.Duration
+	// BaseInterval is the per-node inter-arrival time outside the surge
+	// window.
+	BaseInterval time.Duration
+	// SurgeStart/SurgeEnd bound the half-open surge window
+	// [SurgeStart, SurgeEnd) during which each node's arrival rate is
+	// multiplied by SurgeFactor (≥ 2 for a traffic spike; 0 or 1 = no
+	// rate surge).
+	SurgeStart, SurgeEnd time.Duration
+	SurgeFactor          int
+	// HotQuery, when set, replaces the corpus inside the surge window —
+	// the hotspot-keyword scenario: a complex query whose larger
+	// service time overloads the cluster at an unchanged arrival rate.
+	HotQuery workload.Query
+}
+
+// RunOpenLoop runs an open-loop arrival campaign and returns its
+// dataset. Arrival times are deterministic: node i starts at the usual
+// fleet stagger and steps by BaseInterval (BaseInterval/SurgeFactor
+// inside the surge window), issuing corpus queries in sequence (the
+// HotQuery inside the window, when set).
+func (r *Runner) RunOpenLoop(opts OpenLoopOptions) *Dataset {
+	queries := opts.Queries
+	if len(queries) == 0 {
+		n := opts.QueriesPerNode
+		if n <= 0 {
+			n = 20
+		}
+		gen := workload.NewGenerator(opts.QuerySeed + 77)
+		queries = gen.Corpus(n, workload.ClassGranular)
+	}
+	ds := r.newDataset("open-loop")
+	for i, node := range r.Fleet.Nodes {
+		fe := opts.FE
+		if fe == nil {
+			fe = r.Dep.DefaultFE(node.Point)
+		}
+		start := time.Duration(i%97) * 103 * time.Millisecond
+		k := 0
+		for at := start; at < opts.Horizon; {
+			surging := at >= opts.SurgeStart && at < opts.SurgeEnd
+			q := queries[k%len(queries)]
+			if surging && opts.HotQuery.Keywords != "" {
+				q = opts.HotQuery
+			}
+			r.issueAt(ds, at, node, fe, q)
+			k++
+			step := opts.BaseInterval
+			if surging && opts.SurgeFactor > 1 {
+				step = opts.BaseInterval / time.Duration(opts.SurgeFactor)
+			}
+			at += step
+		}
+	}
+	return r.finalize(ds)
 }
 
 // BOptions parameterize Experiment B.

@@ -17,6 +17,7 @@ package frontend
 
 import (
 	"math/rand"
+	"strconv"
 	"time"
 
 	"fesplit/internal/backend"
@@ -67,6 +68,29 @@ func SharedCDNLoadModel() LoadModel {
 	return LoadModel{Mean: 35 * time.Millisecond, CV: 0.5, Amplitude: 0.4}
 }
 
+// PoolConfig bounds the FE→BE connection pool and adds admission
+// control and retry behavior — the front half of the load-aware
+// back-end subsystem (docs/QUEUEING.md). The zero value (MaxConns == 0)
+// keeps the legacy unbounded pool: no admission, no retries, and wire
+// behavior byte-identical to earlier versions.
+type PoolConfig struct {
+	// MaxConns bounds concurrent BE fetches. Excess fetches wait FIFO
+	// for a free slot. 0 = unbounded (legacy).
+	MaxConns int
+	// QueueCap bounds the fetch wait queue: a request arriving with the
+	// queue full is rejected outright with a 503 to the client (before
+	// any static flush), giving rejected queries a distinguishable
+	// client-side Record outcome. 0 = unbounded waiting.
+	QueueCap int
+	// Retries is how many times a fetch answered 503 by the BE cluster
+	// is retried before the FE gives up and serves the static portion
+	// only. The slot and connection are held across retries.
+	Retries int
+	// Backoff is the delay before the first retry; it doubles per
+	// attempt. Defaults to 20 ms when Retries > 0.
+	Backoff time.Duration
+}
+
 // Server is one FE server instance.
 type Server struct {
 	host   simnet.HostID
@@ -82,6 +106,15 @@ type Server struct {
 	rng       *rand.Rand
 
 	idle []*httpsim.PersistentConn
+
+	// bounded BE pool state (Config.BEPool.MaxConns > 0)
+	pool        PoolConfig
+	beInflight  int
+	poolWaiters []func()
+	maxPoolWait int
+	rejected    int
+	beRetries   int
+	be503s      int
 
 	// SplitTCP can be disabled for the ablation baseline: the FE then
 	// opens a fresh BE connection per query instead of reusing
@@ -142,6 +175,9 @@ type Config struct {
 	Seed int64
 	// TCP overrides the endpoint TCP configuration (zero = defaults).
 	TCP tcpsim.Config
+	// BEPool bounds the FE→BE connection pool with admission control
+	// and 503 retry/backoff (zero value = legacy unbounded pool).
+	BEPool PoolConfig
 }
 
 // New attaches a front-end server to the network.
@@ -157,6 +193,10 @@ func New(n *simnet.Network, cfg Config) (*Server, error) {
 		splitTCP:  !cfg.DisableSplitTCP,
 		workers:   cfg.Workers,
 		gzip:      cfg.Gzip,
+		pool:      cfg.BEPool,
+	}
+	if fe.pool.Retries > 0 && fe.pool.Backoff <= 0 {
+		fe.pool.Backoff = 20 * time.Millisecond
 	}
 	if fe.gzip {
 		fe.static = GzipMember(cfg.Static)
@@ -240,6 +280,70 @@ func (fe *Server) putConn(pc *httpsim.PersistentConn) {
 	}
 }
 
+// SetBEHost redirects future BE fetches to a different data center —
+// the failover primitive (an FE fleet falling back to a distant BE when
+// its primary cluster degrades). Idle pooled connections to the old BE
+// are closed; in-flight fetches complete against the old one.
+func (fe *Server) SetBEHost(host simnet.HostID) {
+	if host == fe.beHost {
+		return
+	}
+	fe.beHost = host
+	for _, pc := range fe.idle {
+		pc.Close()
+	}
+	fe.idle = fe.idle[:0]
+}
+
+// BEHost returns the data center currently targeted by new fetches.
+func (fe *Server) BEHost() simnet.HostID { return fe.beHost }
+
+// withConn runs use with a BE connection, respecting the bounded pool:
+// with a full pool the fetch waits FIFO for a slot (admission against
+// PoolConfig.QueueCap happened at request arrival). Unbounded pools run
+// immediately — the legacy path, untouched.
+func (fe *Server) withConn(use func(pc *httpsim.PersistentConn)) {
+	if fe.pool.MaxConns <= 0 {
+		use(fe.getConn())
+		return
+	}
+	if fe.beInflight < fe.pool.MaxConns {
+		fe.beInflight++
+		fe.refreshPoolGauges()
+		use(fe.getConn())
+		return
+	}
+	fe.poolWaiters = append(fe.poolWaiters, func() { use(fe.getConn()) })
+	if len(fe.poolWaiters) > fe.maxPoolWait {
+		fe.maxPoolWait = len(fe.poolWaiters)
+	}
+	fe.refreshPoolGauges()
+}
+
+// releaseSlot frees a pool slot when a fetch finishes; a FIFO waiter, if
+// any, inherits the slot immediately.
+func (fe *Server) releaseSlot() {
+	if fe.pool.MaxConns <= 0 {
+		return
+	}
+	if len(fe.poolWaiters) > 0 {
+		next := fe.poolWaiters[0]
+		fe.poolWaiters = fe.poolWaiters[1:]
+		fe.refreshPoolGauges()
+		next()
+		return
+	}
+	fe.beInflight--
+	fe.refreshPoolGauges()
+}
+
+func (fe *Server) refreshPoolGauges() {
+	if m := fe.met; m != nil {
+		m.poolInUse.Set(float64(fe.beInflight))
+		m.poolWait.Set(float64(len(fe.poolWaiters)))
+	}
+}
+
 // Prewarm opens n persistent BE connections ahead of traffic, as real
 // proxies do. No-op when split TCP is disabled.
 func (fe *Server) Prewarm(n int) {
@@ -291,6 +395,23 @@ func (fe *Server) startJob(service time.Duration, done func()) {
 // MaxQueueLen returns the deepest request backlog observed.
 func (fe *Server) MaxQueueLen() int { return fe.maxQueue }
 
+// Rejected counts client requests refused with a 503 at the BE-pool
+// admission check.
+func (fe *Server) Rejected() int { return fe.rejected }
+
+// BERetries counts fetch retries issued after a BE 503.
+func (fe *Server) BERetries() int { return fe.beRetries }
+
+// BERejectedFetches counts fetches that exhausted their retries against
+// a rejecting BE cluster and degraded to a static-only response.
+func (fe *Server) BERejectedFetches() int { return fe.be503s }
+
+// MaxPoolWaiters returns the deepest BE-fetch wait queue observed.
+func (fe *Server) MaxPoolWaiters() int { return fe.maxPoolWait }
+
+// PoolInflight returns the number of BE-fetch slots currently in use.
+func (fe *Server) PoolInflight() int { return fe.beInflight }
+
 // handle serves one client search request: flush the cached static
 // prefix after the FE processing delay, and in parallel fetch the
 // dynamic portion from the back-end over a (persistent) split
@@ -308,6 +429,22 @@ func (fe *Server) handle(w *httpsim.ResponseWriter, r *httpsim.Request) {
 	if m := fe.met; m != nil {
 		m.requests.Inc()
 	}
+
+	// Admission control: with a bounded BE pool whose wait queue is at
+	// its cap, refuse the request outright — a 503 before any static
+	// flush, so a rejected query carries a distinguishable client-side
+	// outcome (Record.Status == 503, no payload).
+	if fe.pool.MaxConns > 0 && fe.pool.QueueCap > 0 &&
+		fe.beInflight >= fe.pool.MaxConns && len(fe.poolWaiters) >= fe.pool.QueueCap {
+		fe.rejected++
+		if m := fe.met; m != nil {
+			m.rejections.Inc()
+		}
+		w.WriteHeader(503, httpsim.ContentLengthHeader(0))
+		w.End()
+		return
+	}
+
 	logIdx := -1
 	if fe.logFetches {
 		logIdx = len(fe.fetchLog)
@@ -357,32 +494,76 @@ func (fe *Server) handle(w *httpsim.ResponseWriter, r *httpsim.Request) {
 
 	// Role 2: split-TCP fetch of the dynamic portion, forwarded
 	// immediately (not waiting for the FE delay — proxies pipeline).
-	pc := fe.getConn()
-	pc.Do(&httpsim.Request{Method: "GET", Path: r.Path, Host: r.Host}, httpsim.ResponseCallbacks{
-		OnDone: func(resp *httpsim.Response) {
-			fe.fetchTimes = append(fe.fetchTimes, sim.Now()-arrived)
-			if m := fe.met; m != nil {
-				m.fetchSeconds.Observe((sim.Now() - arrived).Seconds())
-				m.fetchQuantiles.Observe((sim.Now() - arrived).Seconds())
-			}
-			if logIdx >= 0 {
-				fe.fetchLog[logIdx].FetchDone = sim.Now()
-			}
-			fe.putConn(pc)
-			pendingDynamic = resp.Body
-			if fe.gzip {
-				pendingDynamic = GzipMember(resp.Body)
-			}
-			if staticWritten {
-				finish()
-			}
-		},
-		OnError: func(error) {
-			// BE unreachable: end the response after the static part.
-			pendingDynamic = []byte{}
-			if staticWritten {
-				finish()
-			}
-		},
+	// With a bounded pool the fetch may first wait for a slot; a BE 503
+	// (cluster queue cap) is retried with exponential backoff, holding
+	// the slot and connection, before degrading to static-only.
+	fe.withConn(func(pc *httpsim.PersistentConn) {
+		attempt := 0
+		var issue func()
+		issue = func() {
+			pc.Do(&httpsim.Request{Method: "GET", Path: r.Path, Host: r.Host}, httpsim.ResponseCallbacks{
+				OnDone: func(resp *httpsim.Response) {
+					if resp.Status == 503 {
+						if attempt < fe.pool.Retries {
+							attempt++
+							fe.beRetries++
+							if m := fe.met; m != nil {
+								m.retries.Inc()
+							}
+							backoff := fe.pool.Backoff << uint(min(attempt-1, 16))
+							sim.Schedule(backoff, issue)
+							return
+						}
+						// Retries exhausted: degrade to static-only.
+						fe.be503s++
+						fe.putConn(pc)
+						fe.releaseSlot()
+						pendingDynamic = []byte{}
+						if staticWritten {
+							finish()
+						}
+						return
+					}
+					fe.fetchTimes = append(fe.fetchTimes, sim.Now()-arrived)
+					if m := fe.met; m != nil {
+						m.fetchSeconds.Observe((sim.Now() - arrived).Seconds())
+						m.fetchQuantiles.Observe((sim.Now() - arrived).Seconds())
+					}
+					if logIdx >= 0 {
+						fe.fetchLog[logIdx].FetchDone = sim.Now()
+						if v := resp.Header[backend.QueueWaitHeader]; v != "" {
+							if ns, err := strconv.ParseInt(v, 10, 64); err == nil && ns > 0 {
+								fe.fetchLog[logIdx].QueueWait = time.Duration(ns)
+							}
+						}
+					}
+					fe.putConn(pc)
+					fe.releaseSlot()
+					pendingDynamic = resp.Body
+					if fe.gzip {
+						pendingDynamic = GzipMember(resp.Body)
+					}
+					if staticWritten {
+						finish()
+					}
+				},
+				OnError: func(error) {
+					// BE unreachable: end the response after the static part.
+					fe.releaseSlot()
+					pendingDynamic = []byte{}
+					if staticWritten {
+						finish()
+					}
+				},
+			})
+		}
+		issue()
 	})
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
 }

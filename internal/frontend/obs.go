@@ -16,6 +16,10 @@ type feMetrics struct {
 	concurrency    *obs.Gauge
 	queueDepth     *obs.Gauge
 	beDials        *obs.Counter
+	rejections     *obs.Counter
+	retries        *obs.Counter
+	poolInUse      *obs.Gauge
+	poolWait       *obs.Gauge
 }
 
 // StartObserving wires this FE into the observer: registry metrics
@@ -43,6 +47,14 @@ func (fe *Server) StartObserving(o *obs.Observer) {
 				"requests queued behind the FE worker pool", "fe", "site").With(host, site),
 			beDials: reg.CounterVec("fe_be_dials_total",
 				"fresh back-end connections dialed", "fe", "site").With(host, site),
+			rejections: reg.CounterVec("fe_rejections_total",
+				"client requests refused with 503 at BE-pool admission", "fe", "site").With(host, site),
+			retries: reg.CounterVec("fe_be_retries_total",
+				"fetch retries issued after a BE 503", "fe", "site").With(host, site),
+			poolInUse: reg.GaugeVec("fe_pool_in_use",
+				"BE-fetch pool slots currently occupied", "fe", "site").With(host, site),
+			poolWait: reg.GaugeVec("fe_pool_wait_depth",
+				"fetches waiting for a BE-pool slot", "fe", "site").With(host, site),
 		}
 	}
 	if o.WantSpans() {
@@ -65,6 +77,11 @@ type FetchRecord struct {
 	// FetchDone is when the complete dynamic portion arrived from the
 	// back-end (zero on BE error).
 	FetchDone time.Duration
+	// QueueWait is the time the query spent queued behind the BE
+	// cluster's replicas, as reported on the response's
+	// backend.QueueWaitHeader (zero without the queue model, or when
+	// the query started service immediately).
+	QueueWait time.Duration
 }
 
 // FetchLog returns the per-request ground-truth records in arrival

@@ -106,6 +106,8 @@ func statusText(code int) string {
 		return "Not Found"
 	case 500:
 		return "Internal Server Error"
+	case 503:
+		return "Service Unavailable"
 	default:
 		return "Status"
 	}

@@ -412,7 +412,8 @@ func TestHeaderClone(t *testing.T) {
 }
 
 func TestStatusText(t *testing.T) {
-	for code, want := range map[int]string{200: "OK", 404: "Not Found", 999: "Status"} {
+	for code, want := range map[int]string{200: "OK", 404: "Not Found",
+		503: "Service Unavailable", 999: "Status"} {
 		if got := statusText(code); got != want {
 			t.Fatalf("statusText(%d) = %q", code, got)
 		}

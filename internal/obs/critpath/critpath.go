@@ -45,8 +45,12 @@ const (
 	// PhaseBERTT is the backbone-propagation share of the FE↔BE fetch
 	// window [T4, T5], bounded by the deployment's FE↔BE base RTT.
 	PhaseBERTT
-	// PhaseBEProc is the remainder of the fetch window: BE processing
-	// (and any queueing the model adds on top of propagation).
+	// PhaseBEQueue is the cluster-queueing share of the fetch window:
+	// the time the query waited for a BE replica, as reported by the
+	// queue model through the be_queue_ns annotation (empty without
+	// the queue model or at zero load).
+	PhaseBEQueue
+	// PhaseBEProc is the remainder of the fetch window: BE processing.
 	PhaseBEProc
 	// PhaseDynamicDelivery is dynamic-chunk delivery, T5→TE.
 	PhaseDynamicDelivery
@@ -61,7 +65,7 @@ const (
 
 var phaseNames = [NumPhases]string{
 	"dns", "handshake", "request", "fe-static", "static-delivery",
-	"be-rtt", "be-proc", "dynamic-delivery", "residual",
+	"be-rtt", "be-queue", "be-proc", "dynamic-delivery", "residual",
 }
 
 // String returns the phase's stable label (used as a metric label and
@@ -111,6 +115,9 @@ type Attribution struct {
 	// BERTT is the FE↔BE base RTT used to split the fetch window
 	// (zero when the span carried no be_rtt_ns annotation).
 	BERTT time.Duration
+	// BEQueue is the BE-reported cluster queue wait inside the fetch
+	// window (zero without a be_queue_ns annotation).
+	BEQueue time.Duration
 	// FEArrival is the request's arrival time at the FE. When no
 	// fe-fetch server span was available it is inferred from the
 	// client-side timeline (ArrivalInferred true).
@@ -138,6 +145,9 @@ func (a Attribution) Conserved() bool { return a.Sum() == a.Total }
 const (
 	FetchSpan = "fe-fetch"
 	AttrBERTT = "be_rtt_ns"
+	// AttrBEQueue carries the BE cluster queue wait (integer
+	// nanoseconds) the queue model reported for this query.
+	AttrBEQueue = "be_queue_ns"
 
 	// attrFetchEst marks an annotated root span (idempotence guard) and
 	// carries the fetch estimate for exporters.
@@ -167,6 +177,11 @@ func Attribute(root *obs.Span, tl Timeline) Attribution {
 		if v, ok := attr(fe, AttrBERTT); ok {
 			if ns, err := strconv.ParseInt(v, 10, 64); err == nil && ns > 0 {
 				a.BERTT = time.Duration(ns)
+			}
+		}
+		if v, ok := attr(fe, AttrBEQueue); ok {
+			if ns, err := strconv.ParseInt(v, 10, 64); err == nil && ns > 0 {
+				a.BEQueue = time.Duration(ns)
 			}
 		}
 	}
@@ -215,10 +230,14 @@ func Attribute(root *obs.Span, tl Timeline) Attribution {
 	take(PhaseFEStatic, tl.T3)
 	take(PhaseStaticDelivery, tl.T4)
 	// Fetch window [T4, T5]: propagation first (bounded by the FE↔BE
-	// base RTT), the rest is BE processing. Without a be_rtt_ns
-	// annotation the whole window is BE processing.
+	// base RTT), then the BE-reported cluster queue wait, the rest is
+	// BE processing. Without a be_rtt_ns annotation the whole window is
+	// BE processing; without be_queue_ns the queue share is empty.
 	if a.BERTT > 0 {
 		take(PhaseBERTT, minDur(tl.T4+a.BERTT, tl.T5))
+	}
+	if a.BEQueue > 0 {
+		take(PhaseBEQueue, minDur(cur+a.BEQueue, tl.T5))
 	}
 	take(PhaseBEProc, tl.T5)
 	take(PhaseDynamicDelivery, tl.TE)

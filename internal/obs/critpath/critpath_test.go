@@ -65,6 +65,10 @@ func buildSpan(rng *rand.Rand, tl Timeline, dns, end time.Duration) *Span {
 			beRTT := time.Duration(rng.Intn(40)+1) * time.Millisecond
 			fe.SetAttr(AttrBERTT, strconv.FormatInt(int64(beRTT), 10))
 		}
+		if rng.Intn(3) == 0 {
+			wait := time.Duration(rng.Intn(150)+1) * time.Millisecond
+			fe.SetAttr(AttrBEQueue, strconv.FormatInt(int64(wait), 10))
+		}
 	}
 	return root
 }
@@ -120,6 +124,71 @@ func TestAttributeConservation(t *testing.T) {
 		if a.BERTT > 0 && a.Phases[PhaseBERTT] > a.BERTT {
 			t.Fatalf("case %d: be-rtt phase %v > BE RTT %v", i, a.Phases[PhaseBERTT], a.BERTT)
 		}
+		// Likewise the queue share never exceeds the annotated wait,
+		// and it exists only with an annotation.
+		if a.Phases[PhaseBEQueue] > a.BEQueue {
+			t.Fatalf("case %d: be-queue phase %v > annotated wait %v",
+				i, a.Phases[PhaseBEQueue], a.BEQueue)
+		}
+	}
+}
+
+// TestBEQueueSplit pins the fetch-window split with a queue-wait
+// annotation: [T4, T5] telescopes into be-rtt, then be-queue, then
+// be-proc, each clamped to the window.
+func TestBEQueueSplit(t *testing.T) {
+	ms := func(n int) time.Duration { return time.Duration(n) * time.Millisecond }
+	tl := Timeline{
+		TB: ms(10), T1: ms(50), T2: ms(70), T3: ms(75),
+		T4: ms(90), T5: ms(290), TE: ms(300), RTT: ms(40),
+	}
+	build := func(beRTT, wait time.Duration) *Span {
+		root := &Span{Name: "query", Start: 0, End: ms(305)}
+		fe := root.Child(FetchSpan, ms(50), ms(270))
+		if beRTT > 0 {
+			fe.SetAttr(AttrBERTT, strconv.FormatInt(int64(beRTT), 10))
+		}
+		if wait > 0 {
+			fe.SetAttr(AttrBEQueue, strconv.FormatInt(int64(wait), 10))
+		}
+		return root
+	}
+
+	// Fetch window is [90, 290] = 200 ms: 30 ms RTT + 120 ms queue
+	// leaves 50 ms of BE processing.
+	a := Attribute(build(ms(30), ms(120)), tl)
+	if !a.Conserved() {
+		t.Fatalf("not conserved: %+v", a)
+	}
+	if a.BEQueue != ms(120) {
+		t.Fatalf("BEQueue = %v, want 120ms", a.BEQueue)
+	}
+	if a.Phases[PhaseBERTT] != ms(30) || a.Phases[PhaseBEQueue] != ms(120) ||
+		a.Phases[PhaseBEProc] != ms(50) {
+		t.Fatalf("split = rtt %v / queue %v / proc %v, want 30/120/50 ms",
+			a.Phases[PhaseBERTT], a.Phases[PhaseBEQueue], a.Phases[PhaseBEProc])
+	}
+
+	// Without the annotation the queue share is empty and the window
+	// is rtt + proc, exactly as before the queue model existed.
+	a = Attribute(build(ms(30), 0), tl)
+	if a.Phases[PhaseBEQueue] != 0 {
+		t.Fatalf("be-queue = %v without annotation", a.Phases[PhaseBEQueue])
+	}
+	if a.Phases[PhaseBERTT] != ms(30) || a.Phases[PhaseBEProc] != ms(170) {
+		t.Fatalf("split = rtt %v / proc %v, want 30/170 ms",
+			a.Phases[PhaseBERTT], a.Phases[PhaseBEProc])
+	}
+
+	// An oversized wait is clamped to the window: queue absorbs what
+	// remains after the RTT, proc gets nothing.
+	a = Attribute(build(ms(30), ms(500)), tl)
+	if !a.Conserved() {
+		t.Fatalf("not conserved with clamped wait: %+v", a)
+	}
+	if a.Phases[PhaseBEQueue] != ms(170) || a.Phases[PhaseBEProc] != 0 {
+		t.Fatalf("clamped split = queue %v / proc %v, want 170/0 ms",
+			a.Phases[PhaseBEQueue], a.Phases[PhaseBEProc])
 	}
 }
 

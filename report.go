@@ -28,6 +28,11 @@ type Report struct {
 	Interactive *InteractiveData
 	Wireless    *WirelessData
 	ModelCheck  *ModelValidationData
+	// Load-aware back-end queueing scenarios (docs/QUEUEING.md).
+	Overload *OverloadData
+	Hotspot  *HotspotData
+	Failover *FailoverData
+	Capacity *CapacityData
 }
 
 // WriteReport runs the whole study and renders it as text.
@@ -219,6 +224,62 @@ func (r *Report) WriteText(w io.Writer) error {
 		pf("client-side retransmissions: campus %d, wireless %d\n",
 			d.CampusRetrans, d.WirelessRetrans)
 		pf("with a lossy last hop, close FE placement matters far more.\n")
+	}
+
+	writeBuckets := func(buckets []QueueBucket) {
+		pf("%-8s %8s %6s %9s %9s %10s %10s %7s %6s\n", "start_s",
+			"offered", "ok", "degraded", "rejected", "p50_ms", "p99_ms", "depth", "util")
+		for _, b := range buckets {
+			pf("%-8.0f %8d %6d %9d %9d %10.1f %10.1f %7d %6.2f\n",
+				b.StartS, b.Offered, b.OK, b.Degraded, b.Rejected,
+				b.P50Ms, b.P99Ms, b.QueueDepth, b.Utilization)
+		}
+	}
+
+	if r.Overload != nil {
+		hr("Queueing — traffic-spike overload")
+		d := r.Overload
+		pf("[%s] %d replicas, queue cap %d, 4× arrival surge in [%.0f, %.0f) s\n",
+			d.Service, d.Replicas, d.QueueCap, d.SurgeStartS, d.SurgeEndS)
+		writeBuckets(d.Buckets)
+		pf("BE rejections %d, FE retries %d, degraded responses %d, max queue depth %d\n",
+			d.BERejected, d.FERetries, d.Degraded, d.MaxQueueDepth)
+		pf("observation: the cap bounds queue depth; excess load is shed as 503s.\n")
+	}
+
+	if r.Hotspot != nil {
+		hr("Queueing — hotspot keyword")
+		d := r.Hotspot
+		pf("[%s] %d replicas, %d-term hot query in [%.0f, %.0f) s at unchanged rate\n",
+			d.Service, d.Replicas, d.HotTerms, d.SurgeStartS, d.SurgeEndS)
+		writeBuckets(d.Buckets)
+		pf("max queue depth %d\n", d.MaxQueueDepth)
+		pf("observation: per-query work, not arrival rate, saturates the cluster.\n")
+	}
+
+	if r.Failover != nil {
+		hr("Queueing — FE-fleet failover to distant BE")
+		d := r.Failover
+		pf("[%s] at %.0f s every FE fails over (e.g. %s → %s)\n",
+			d.Service, d.FailAtS, d.FromBE, d.ToBE)
+		writeBuckets(d.Buckets)
+		pf("median Tdynamic: pre %.1f ms → post %.1f ms\n", d.PreP50Ms, d.PostP50Ms)
+		pf("observation: distance, not load, explains the step — queues stay flat.\n")
+	}
+
+	if r.Capacity != nil {
+		hr("Queueing — capacity-planning sweep")
+		d := r.Capacity
+		pf("[%s] %.1f queries/s offered; SLO: p99 Tdynamic ≤ %.1f ms (2× uncontended)\n",
+			d.Service, d.OfferedQPS, d.SLOMs)
+		pf("%-9s %8s %6s %6s %7s %10s %10s %5s\n", "replicas",
+			"offered", "ok", "util", "depth", "p50_ms", "p99_ms", "slo")
+		for _, p := range d.Points {
+			pf("%-9d %8d %6d %6.2f %7d %10.1f %10.1f %5v\n",
+				p.Replicas, p.Offered, p.OK, p.Utilization, p.MaxQueueDepth,
+				p.P50Ms, p.P99Ms, p.MeetsSLO)
+		}
+		pf("smallest cluster meeting the SLO: %d replicas\n", d.MinReplicas)
 	}
 
 	return nil

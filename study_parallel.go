@@ -72,6 +72,10 @@ type cellResults struct {
 	interactive *InteractiveData
 	modelCheck  *ModelValidationData
 	wireless    [2]wirelessLeg // campus, wireless
+	overload    *OverloadData
+	hotspot     *HotspotData
+	failover    *FailoverData
+	capacity    *CapacityData
 }
 
 // studyCell is one independent unit of the study matrix.
@@ -156,6 +160,24 @@ func (s *Study) cells() []studyCell {
 			return
 		}})
 	}
+	list = append(list,
+		studyCell{"queue/overload", func(cs *Study, res *cellResults) (err error) {
+			res.overload, err = cs.Overload()
+			return
+		}},
+		studyCell{"queue/hotspot", func(cs *Study, res *cellResults) (err error) {
+			res.hotspot, err = cs.Hotspot()
+			return
+		}},
+		studyCell{"queue/failover", func(cs *Study, res *cellResults) (err error) {
+			res.failover, err = cs.Failover()
+			return
+		}},
+		studyCell{"queue/capacity", func(cs *Study, res *cellResults) (err error) {
+			res.capacity, err = cs.Capacity()
+			return
+		}},
+	)
 	return list
 }
 
@@ -224,6 +246,10 @@ func (s *Study) runMatrix(observed bool) (*StudyOutput, error) {
 		TermEffect:  res.term[:],
 		Interactive: res.interactive,
 		ModelCheck:  res.modelCheck,
+		Overload:    res.overload,
+		Hotspot:     res.hotspot,
+		Failover:    res.failover,
+		Capacity:    res.capacity,
 	}
 	wireless, err := combineWireless(res.wireless[0], res.wireless[1])
 	if err != nil {

@@ -1,0 +1,188 @@
+package fesplit
+
+import (
+	"fmt"
+	"testing"
+)
+
+// fmtData renders a scenario result for byte-level comparison.
+func fmtData(v interface{}) string { return fmt.Sprintf("%+v", v) }
+
+// TestOverloadScenario pins the traffic-spike scenario's shape: the
+// surge must actually overload the capped cluster (rejections and
+// queueing appear inside the window), the cap must bound the queue,
+// and the quiet buckets before the surge must stay uncontended.
+func TestOverloadScenario(t *testing.T) {
+	s := NewStudy(LightStudyConfig(42))
+	d, err := s.Overload()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Replicas <= 0 || d.QueueCap <= 0 {
+		t.Fatalf("scenario misconfigured: %+v", d)
+	}
+	if d.MaxQueueDepth > d.QueueCap {
+		t.Errorf("queue depth %d exceeded cap %d", d.MaxQueueDepth, d.QueueCap)
+	}
+	if d.BERejected == 0 {
+		t.Error("surge produced no BE rejections — overload is vacuous")
+	}
+	if d.FERetries == 0 {
+		t.Error("BE 503s produced no FE retries")
+	}
+	var surge, quiet *QueueBucket
+	for i := range d.Buckets {
+		b := &d.Buckets[i]
+		switch {
+		case b.StartS >= d.SurgeStartS+4 && b.StartS < d.SurgeEndS && surge == nil:
+			surge = b
+		case b.StartS >= 4 && b.StartS < d.SurgeStartS-4 && quiet == nil:
+			quiet = b
+		}
+	}
+	if surge == nil || quiet == nil {
+		t.Fatalf("bucket layout broken: %+v", d.Buckets)
+	}
+	if surge.Offered <= 2*quiet.Offered {
+		t.Errorf("surge bucket offered %d, quiet %d — no spike", surge.Offered, quiet.Offered)
+	}
+	if surge.Rejected+surge.Degraded == 0 {
+		t.Errorf("surge bucket shed no load: %+v", *surge)
+	}
+	if surge.P99Ms <= quiet.P99Ms {
+		t.Errorf("surge p99 %.1f ms not above quiet p99 %.1f ms", surge.P99Ms, quiet.P99Ms)
+	}
+	// Accounting: every offered query has exactly one outcome.
+	for _, b := range d.Buckets {
+		if b.OK+b.Degraded+b.Rejected != b.Offered {
+			t.Errorf("bucket %.0f: ok %d + degraded %d + rejected %d != offered %d",
+				b.StartS, b.OK, b.Degraded, b.Rejected, b.Offered)
+		}
+	}
+}
+
+// TestHotspotScenario pins the hot-keyword scenario: with the arrival
+// rate unchanged, the expensive query alone must drive up utilization,
+// queue depth and the p99 inside the window.
+func TestHotspotScenario(t *testing.T) {
+	s := NewStudy(LightStudyConfig(42))
+	d, err := s.Hotspot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var surge, quiet *QueueBucket
+	for i := range d.Buckets {
+		b := &d.Buckets[i]
+		switch {
+		case b.StartS >= d.SurgeStartS+4 && b.StartS < d.SurgeEndS && surge == nil:
+			surge = b
+		case b.StartS >= 4 && b.StartS < d.SurgeStartS-4 && quiet == nil:
+			quiet = b
+		}
+	}
+	if surge == nil || quiet == nil {
+		t.Fatalf("bucket layout broken: %+v", d.Buckets)
+	}
+	// The rate never surges: offered counts match across windows.
+	if surge.Offered != quiet.Offered {
+		t.Errorf("hotspot changed arrival rate: surge %d vs quiet %d offered",
+			surge.Offered, quiet.Offered)
+	}
+	if surge.P99Ms <= quiet.P99Ms {
+		t.Errorf("hot window p99 %.1f ms not above quiet p99 %.1f ms",
+			surge.P99Ms, quiet.P99Ms)
+	}
+	if d.MaxQueueDepth == 0 {
+		t.Error("hot query never queued — scenario is vacuous")
+	}
+}
+
+// TestFailoverScenario pins the failover step: after every FE switches
+// to its farthest BE, the median Tdynamic must rise by at least the
+// extra backbone propagation (tens of ms for a cross-country switch).
+func TestFailoverScenario(t *testing.T) {
+	s := NewStudy(LightStudyConfig(42))
+	d, err := s.Failover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.FromBE == d.ToBE {
+		t.Fatalf("failover is a no-op: %s → %s", d.FromBE, d.ToBE)
+	}
+	if d.PostP50Ms <= d.PreP50Ms+10 {
+		t.Errorf("failover step too small: pre %.1f ms → post %.1f ms",
+			d.PreP50Ms, d.PostP50Ms)
+	}
+}
+
+// TestCapacitySweep pins the capacity-planning knee: p99 Tdynamic must
+// grow monotonically as replicas are removed and cross the SLO before
+// the smallest cluster, with utilization explaining the blame.
+func TestCapacitySweep(t *testing.T) {
+	s := NewStudy(LightStudyConfig(42))
+	d, err := s.Capacity()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Points) < 3 {
+		t.Fatalf("sweep too small: %+v", d.Points)
+	}
+	first, last := d.Points[0], d.Points[len(d.Points)-1]
+	if !first.MeetsSLO {
+		t.Errorf("largest cluster (%d replicas) misses its own derived SLO", first.Replicas)
+	}
+	if last.MeetsSLO {
+		t.Errorf("smallest cluster (%d replicas, p99 %.1f ms) still meets SLO %.1f ms — sweep never crosses",
+			last.Replicas, last.P99Ms, d.SLOMs)
+	}
+	if d.MinReplicas == 0 {
+		t.Error("no swept replica count meets the SLO")
+	}
+	for i := 1; i < len(d.Points); i++ {
+		prev, cur := d.Points[i-1], d.Points[i]
+		if cur.Replicas >= prev.Replicas {
+			t.Fatalf("sweep not in decreasing replica order: %+v", d.Points)
+		}
+		// Tail quantiles wobble a few percent between uncontended
+		// points; only a real drop breaks the knee shape.
+		if cur.P99Ms < prev.P99Ms*0.9 {
+			t.Errorf("p99 fell from %.1f to %.1f ms when replicas dropped %d → %d",
+				prev.P99Ms, cur.P99Ms, prev.Replicas, cur.Replicas)
+		}
+		if cur.Utilization < prev.Utilization {
+			t.Errorf("utilization fell from %.2f to %.2f when replicas dropped %d → %d",
+				prev.Utilization, cur.Utilization, prev.Replicas, cur.Replicas)
+		}
+		// The workload is identical across the sweep.
+		if cur.Offered != prev.Offered {
+			t.Errorf("offered load changed across sweep: %d vs %d", prev.Offered, cur.Offered)
+		}
+	}
+}
+
+// TestQueueScenariosDeterministic pins byte-level reproducibility of
+// the scenario cells: two studies with equal seeds produce identical
+// data, and the scenarios are independent of each other (running one
+// does not perturb another).
+func TestQueueScenariosDeterministic(t *testing.T) {
+	run := func() (*OverloadData, *CapacityData) {
+		s := NewStudy(LightStudyConfig(42))
+		o, err := s.Overload()
+		if err != nil {
+			t.Fatal(err)
+		}
+		c, err := s.Capacity()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return o, c
+	}
+	o1, c1 := run()
+	o2, c2 := run()
+	if fmtData(*o1) != fmtData(*o2) {
+		t.Errorf("overload not deterministic:\n%s\nvs\n%s", fmtData(*o1), fmtData(*o2))
+	}
+	if fmtData(*c1) != fmtData(*c2) {
+		t.Errorf("capacity not deterministic:\n%s\nvs\n%s", fmtData(*c1), fmtData(*c2))
+	}
+}
