@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet bench bench-json bench-compare check report report-full examples clean fuzz-smoke equivalence fastpath-check telemetry-smoke profile-smoke queueing-check
+.PHONY: all build test vet bench bench-json bench-compare check report report-full examples clean fuzz-smoke equivalence fastpath-check lossy-check telemetry-smoke profile-smoke queueing-check
 
 all: build vet test
 
@@ -28,24 +28,35 @@ bench-compare:
 	$(GO) run ./cmd/benchjson -benchtime 100ms -o bench-check.json \
 		-compare $(BENCH_BASELINE) -warn-only
 
-BENCH_BASELINE ?= BENCH_7.json
+BENCH_BASELINE ?= BENCH_9.json
 
 # Fast-forward engine equivalence gate: the differential property test
-# (randomized RTT/loss/size/cwnd scenarios, fast lane vs packet lane),
-# the fallback-boundary tests and the keep-alive fuzz seeds, at an
-# elevated -count and under the race detector. Slower than the regular
-# test run; CI runs it as its own job.
+# (randomized RTT/loss/size/cwnd scenarios — i.i.d. and Gilbert — fast
+# lane vs packet lane), the fallback-boundary tests and the keep-alive
+# fuzz seeds, at an elevated -count and under the race detector. Slower
+# than the regular test run; CI runs it as its own job.
 fastpath-check:
 	$(GO) test -race -count=5 -run 'FastPath' ./internal/tcpsim
+	$(MAKE) lossy-check
 	$(GO) test -race -count=5 -run 'FuzzKeepAliveExpiry' ./internal/httpsim
 	$(GO) test -race -count=2 -run 'TestParallelSerialEquivalence' .
 
-# Short fuzz pass over the observability codecs: label escaping and the
-# metrics JSONL round trip. Go runs one fuzz target per invocation, so
-# two runs. ~10s each — a smoke pass for CI, not a campaign.
+# Lossy fast-lane gate: the loss-epoch boundary pins (first-segment
+# loss, dropped retransmission, final-round loss, tail-loss RTO,
+# Gilbert burst re-entry) and the fuzz corpus replay, at an elevated
+# -count under the race detector. See docs/PERF.md §lossy
+# fast-forwarding.
+lossy-check:
+	$(GO) test -race -count=5 -run 'TestLossEpoch|FuzzLossEpochBoundary' ./internal/tcpsim
+
+# Short fuzz pass over the observability codecs (label escaping, the
+# metrics JSONL round trip) and the lossy fast-lane differential
+# property. Go runs one fuzz target per invocation, so one run each.
+# ~10s each — a smoke pass for CI, not a campaign.
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzPrometheusLabelEscape -fuzztime 10s ./internal/obs
 	$(GO) test -run '^$$' -fuzz FuzzMetricsJSONLRoundTrip -fuzztime 10s ./internal/obs
+	$(GO) test -run '^$$' -fuzz FuzzLossEpochBoundary -fuzztime 10s ./internal/tcpsim
 
 # Load-aware queueing gate: the Lindley/M-D-1 property tests, the
 # zero-load byte-identity degeneracy, FE admission control and
@@ -106,7 +117,7 @@ bench:
 	$(GO) test -bench=. -benchmem ./...
 
 # Perf-trajectory snapshot: root study benchmarks plus the simnet and
-# tcpsim micro-benchmarks, recorded as BENCH_7.json (name → ns/op,
+# tcpsim micro-benchmarks, recorded as BENCH_9.json (name → ns/op,
 # B/op, allocs/op). Later PRs diff new snapshots against this file.
 #
 # The `[^4]$` bench regexp drops BenchmarkStudyRunAllWorkers4 — the
@@ -115,7 +126,7 @@ bench:
 # not depend on the runner's core count, and the parallel runner's
 # correctness is already pinned byte-for-byte by `make equivalence`.
 bench-json:
-	$(GO) run ./cmd/benchjson -bench '[^4]$$' -o BENCH_7.json
+	$(GO) run ./cmd/benchjson -bench '[^4]$$' -o BENCH_9.json
 
 # Light-scale figure regeneration (seconds).
 report: build

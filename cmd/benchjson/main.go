@@ -220,7 +220,7 @@ func deltasJSON(ds []Delta) []byte {
 // zero (or near-zero) allocations deliberately; any growth is a
 // regression in the zero-allocation design, not noise.
 var allocGated = regexp.MustCompile(
-	`^Benchmark(EventThroughput|NetworkSend|BulkTransfer|EngineBackendOnly|FastPath)`)
+	`^Benchmark(EventThroughput|NetworkSend|BulkTransfer|EngineBackendOnly|FastPath|GilbertLossyTransfer)`)
 
 // Regression is one benchmark whose cost (ns/op or allocs/op,
 // depending on which finder produced it) grew beyond the threshold.

@@ -153,10 +153,13 @@ func cmdReport(args []string) error {
 			fmt.Fprintf(os.Stderr,
 				"fast path: %.0f epochs, %.0f bytes bypassed the event heap, %.0f fallbacks (busiest cell)\n",
 				u.Epochs, u.Bytes, u.Fallbacks)
+			fmt.Fprintf(os.Stderr,
+				"fast path lossy lanes: %.0f re-entries, %.0f lane drops, %.1f segments/epoch\n",
+				u.Reentries, u.LossDrops, u.EpochSegments)
 			if u.HasReasons {
 				fmt.Fprintf(os.Stderr,
-					"fast path fallbacks by reason: loss %.0f, topology %.0f, teardown %.0f, disabled %.0f\n",
-					u.FallbackLoss, u.FallbackTopology, u.FallbackTeardown, u.FallbackDisabled)
+					"fast path fallbacks by reason: loss %.0f, topology %.0f, teardown %.0f, disabled %.0f, loss-recovery %.0f\n",
+					u.FallbackLoss, u.FallbackTopology, u.FallbackTeardown, u.FallbackDisabled, u.FallbackLossRecovery)
 			}
 		}
 		return rep.WriteText(os.Stdout)

@@ -146,9 +146,11 @@ func cmdObs(args []string) error {
 	if u, ok := fesplit.FastPathUsageFrom(o.Reg); ok {
 		fmt.Printf("  fast path: %.0f epochs, %.0f bytes bypassed the event heap, %.0f fallbacks\n",
 			u.Epochs, u.Bytes, u.Fallbacks)
+		fmt.Printf("  fast path lossy lanes: %.0f re-entries, %.0f lane drops, %.1f segments/epoch\n",
+			u.Reentries, u.LossDrops, u.EpochSegments)
 		if u.HasReasons {
-			fmt.Printf("  fast path fallbacks by reason: loss %.0f, topology %.0f, teardown %.0f, disabled %.0f\n",
-				u.FallbackLoss, u.FallbackTopology, u.FallbackTeardown, u.FallbackDisabled)
+			fmt.Printf("  fast path fallbacks by reason: loss %.0f, topology %.0f, teardown %.0f, disabled %.0f, loss-recovery %.0f\n",
+				u.FallbackLoss, u.FallbackTopology, u.FallbackTeardown, u.FallbackDisabled, u.FallbackLossRecovery)
 		}
 	}
 	for _, out := range files {

@@ -129,8 +129,11 @@ func cmdStudy(args []string) error {
 		*seed, *scale, *workers, len(out.Metrics.Families()), len(out.Exemplars))
 	if u, ok := fesplit.FastPathUsageFrom(out.Metrics); ok && u.HasReasons {
 		fmt.Fprintf(os.Stderr,
-			"study: fastpath fallbacks %.0f (loss %.0f, topology %.0f, teardown %.0f, disabled %.0f)\n",
-			u.Fallbacks, u.FallbackLoss, u.FallbackTopology, u.FallbackTeardown, u.FallbackDisabled)
+			"study: fastpath fallbacks %.0f (loss %.0f, topology %.0f, teardown %.0f, disabled %.0f, loss-recovery %.0f)\n",
+			u.Fallbacks, u.FallbackLoss, u.FallbackTopology, u.FallbackTeardown, u.FallbackDisabled, u.FallbackLossRecovery)
+		fmt.Fprintf(os.Stderr,
+			"study: fastpath lossy lanes %.0f re-entries, %.0f lane drops, %.1f segments/epoch\n",
+			u.Reentries, u.LossDrops, u.EpochSegments)
 	}
 	if eng := study.Runtime(); eng != nil {
 		fmt.Fprintf(os.Stderr, "study: peak heap %.1f MiB, %d records streamed\n",

@@ -245,15 +245,25 @@ type FastPathUsage struct {
 	Bytes     float64
 	Fallbacks float64
 	// Per-reason fallback breakdown (fastpath_fallbacks_by_reason):
-	// loss processes on the lane, topology changes invalidating the
-	// resolved handler, peer teardown mid-epoch, and the engine being
-	// disabled outright. HasReasons is false on dumps predating the
-	// breakdown.
-	FallbackLoss     float64
-	FallbackTopology float64
-	FallbackTeardown float64
-	FallbackDisabled float64
-	HasReasons       bool
+	// loss blackouts refusing the lane outright, topology changes
+	// invalidating the resolved handler, peer teardown mid-epoch, the
+	// engine being disabled outright, and loss-recovery suspensions
+	// (a lane segment was consumed by the loss process; the epoch
+	// resumes once the retransmission is cumulatively ACKed).
+	// HasReasons is false on dumps predating the breakdown.
+	FallbackLoss         float64
+	FallbackTopology     float64
+	FallbackTeardown     float64
+	FallbackDisabled     float64
+	FallbackLossRecovery float64
+	HasReasons           bool
+	// Lossy-lane activity (zero on dumps predating loss epochs):
+	// epochs re-entered after a loss-recovery suspension, lane
+	// segments consumed by loss processes at send time, and the mean
+	// heap-bypassing segments per analytic epoch.
+	Reentries     float64
+	LossDrops     float64
+	EpochSegments float64
 }
 
 // FastPathUsageFrom extracts the fastpath_* gauge trio (plus the
@@ -280,6 +290,8 @@ func FastPathUsageFrom(reg *MetricsRegistry) (u FastPathUsage, ok bool) {
 					dst = &u.FallbackTeardown
 				case "disabled":
 					dst = &u.FallbackDisabled
+				case "loss-recovery":
+					dst = &u.FallbackLossRecovery
 				default:
 					continue
 				}
@@ -296,6 +308,12 @@ func FastPathUsageFrom(reg *MetricsRegistry) (u FastPathUsage, ok bool) {
 			dst = &u.Bytes
 		case "fastpath_fallbacks":
 			dst = &u.Fallbacks
+		case "fastpath_reentries":
+			dst = &u.Reentries
+		case "fastpath_loss_drops":
+			dst = &u.LossDrops
+		case "fastpath_epoch_segments":
+			dst = &u.EpochSegments
 		default:
 			continue
 		}

@@ -70,6 +70,18 @@ func (r *Recorder) Tap(ev tcpsim.TapEvent) {
 	if r.SnapPayload {
 		e.Seg.Data = nil
 	}
+	if len(r.trace.Events) == cap(r.trace.Events) {
+		// Explicit doubling: runtime append grows large slices by only
+		// ~1.25×, and busy capture nodes re-copied six-figure event
+		// lists several times over a campaign.
+		newCap := 2 * cap(r.trace.Events)
+		if newCap < 1024 {
+			newCap = 1024
+		}
+		grown := make([]Event, len(r.trace.Events), newCap)
+		copy(grown, r.trace.Events)
+		r.trace.Events = grown
+	}
 	r.trace.Events = append(r.trace.Events, e)
 }
 
@@ -130,13 +142,29 @@ func (t *Trace) WriteText(w io.Writer, maxEvents int) {
 // Sessions splits the trace into per-connection event lists, preserving
 // event order, and returns the keys in first-seen order.
 func (t *Trace) Sessions() ([]ConnKey, map[ConnKey][]Event) {
+	// Count first, then carve per-connection windows off a single slab
+	// sized to the whole trace: per-key append growth used to re-copy
+	// every (large) Event struct repeatedly on busy nodes.
 	order := []ConnKey{}
-	m := make(map[ConnKey][]Event)
+	counts := make(map[ConnKey]int)
 	for _, e := range t.Events {
 		k := e.key()
-		if _, seen := m[k]; !seen {
+		if counts[k] == 0 {
 			order = append(order, k)
 		}
+		counts[k]++
+	}
+	m := make(map[ConnKey][]Event, len(counts))
+	slab := make([]Event, 0, len(t.Events))
+	for _, k := range order {
+		off := len(slab)
+		slab = slab[:off+counts[k]]
+		// Capacity-capped: a session's appends can never spill into the
+		// next window.
+		m[k] = slab[off:off : off+counts[k]]
+	}
+	for _, e := range t.Events {
+		k := e.key()
 		m[k] = append(m[k], e)
 	}
 	return order, m

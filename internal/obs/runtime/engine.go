@@ -44,13 +44,19 @@ const (
 	ReasonTeardown
 	// ReasonDisabled: fast-forwarding was switched off on the network.
 	ReasonDisabled
+	// ReasonLossRecovery: the loss process dropped a lane segment at
+	// send time; the epoch is suspended for the per-packet recovery
+	// exchange and re-enters once the retransmission is cumulatively
+	// ACKed. Unlike the other reasons this one is transient — pair it
+	// with the re-entry counter to see epochs resuming.
+	ReasonLossRecovery
 	// NumReasons sizes per-reason counter arrays.
 	NumReasons
 )
 
 // ReasonNames are the label values of the per-reason counters, index-
 // aligned with the Reason constants.
-var ReasonNames = [NumReasons]string{"loss", "topology", "teardown", "disabled"}
+var ReasonNames = [NumReasons]string{"loss", "topology", "teardown", "disabled", "loss-recovery"}
 
 // Engine is the telemetry hub one study run shares across all of its
 // concurrent simulated worlds. Subsystems publish with batched atomic

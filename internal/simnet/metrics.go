@@ -104,13 +104,26 @@ func (n *Network) ExportMetrics(reg *obs.Registry) {
 		Set(float64(fs.Epochs))
 	reg.Gauge("fastpath_bytes", "wire bytes carried by heap-bypassing segments (snapshot)").
 		Set(float64(fs.Bytes))
-	reg.Gauge("fastpath_fallbacks", "epochs abandoned back to the packet path (snapshot)").
+	reg.Gauge("fastpath_fallbacks", "epochs suspended or abandoned back to the packet path (snapshot)").
 		Set(float64(fs.Fallbacks))
 	byReason := reg.GaugeVec("fastpath_fallbacks_by_reason",
 		"epochs abandoned back to the packet path, by refusal reason (snapshot)", "reason")
 	for i, v := range fs.FallbacksByReason {
 		byReason.With(FallbackReason(i).String()).Set(float64(v))
 	}
+	reg.Gauge("fastpath_reentries",
+		"epochs re-entered after a loss-recovery suspension (snapshot)").
+		Set(float64(fs.Reentries))
+	reg.Gauge("fastpath_loss_drops",
+		"lane segments consumed by loss processes at send time (snapshot)").
+		Set(float64(fs.LossDrops))
+	epochSegs := 0.0
+	if fs.Epochs > 0 {
+		epochSegs = float64(fs.Segments) / float64(fs.Epochs)
+	}
+	reg.Gauge("fastpath_epoch_segments",
+		"mean heap-bypassing segments per analytic epoch (snapshot)").
+		Set(epochSegs)
 
 	sent := reg.GaugeVec("net_path_packets", "packets sent per directed path (snapshot)", "from", "to")
 	dropped := reg.GaugeVec("net_path_dropped", "packets dropped per directed path (snapshot)", "from", "to")

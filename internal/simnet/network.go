@@ -94,11 +94,16 @@ type Network struct {
 	// Fast-path accounting: segments/bytes that bypassed the global
 	// event heap, epochs entered and fallbacks taken by connections.
 	// Exported as the fastpath_* gauges by ExportMetrics. Fallbacks are
-	// additionally broken down by reason (see FallbackReason).
+	// additionally broken down by reason (see FallbackReason); epochs
+	// resumed after a loss suspension are counted as re-entries, and
+	// lane segments consumed by the loss process at send time as loss
+	// drops.
 	fastSegs       uint64
 	fastBytes      uint64
 	fastEpochs     uint64
 	fastFallbacks  uint64
+	fastReentries  uint64
+	fastLossDrops  uint64
 	fastByReason   [rt.NumReasons]uint64
 	rtEngine       *rt.Engine
 	rtPub          FastPathStats // last values published to rtEngine
@@ -247,11 +252,19 @@ func (n *Network) admit(p *path, size int) (arrival Time, dropped bool) {
 	return arrival, false
 }
 
-// PathHandle is a revocable capability to transmit on one loss-free
-// directed path without going through the event heap. The zero value is
-// invalid. Holders must check Valid before each use: any topology
-// mutation revokes every outstanding handle, after which the holder
-// re-resolves via FastPath (and may find the path no longer qualifies).
+// PathHandle is a revocable capability to transmit on one directed path
+// without going through the event heap. The zero value is invalid.
+// Holders must check Valid before each use: any topology mutation
+// revokes every outstanding handle, after which the holder re-resolves
+// via FastPath (and may find the path no longer qualifies).
+//
+// A handle's path may carry a loss process. Loss draws consume the
+// simulator PRNG in segment send order — exactly when Network.Send
+// would draw them — so Transmit resolves each segment's fate (arrival
+// time or drop) at send time, with no packet delivered. That send-time
+// pre-draw is what lets lossy flows stay on the fast lane: the holder
+// learns about a drop immediately and can suspend its analytic epoch
+// for the recovery exchange instead of abandoning it.
 type PathHandle struct {
 	n       *Network
 	p       *path
@@ -268,29 +281,47 @@ func (h PathHandle) Valid() bool { return h.p != nil && h.version == h.n.version
 func (n *Network) Version() uint64 { return n.version }
 
 // Transmit admits one packet of the given size on the handle's path and
-// returns its arrival time. Timing, counters and PRNG draws are exactly
+// returns its arrival time, or dropped=true when the path's loss
+// process consumed it. Timing, counters and PRNG draws are exactly
 // those of Network.Send for the same packet; only the heap scheduling
-// is left to the caller's lane.
-func (h PathHandle) Transmit(size int) Time {
-	arrival, _ := h.n.admit(h.p, size) // never drops: FastPath refuses lossy paths
+// is left to the caller's lane. On a drop the caller must schedule
+// nothing — Network.Send would not have either.
+func (h PathHandle) Transmit(size int) (arrival Time, dropped bool) {
+	arrival, dropped = h.n.admit(h.p, size)
+	if dropped {
+		h.n.fastLossDrops++
+		return 0, true
+	}
 	h.n.fastSegs++
 	h.n.fastBytes += uint64(size)
-	return arrival
+	return arrival, false
 }
 
 // FastPath resolves a handle for the directed path from → to, or an
-// invalid handle when the path is ineligible: configured with a loss
-// process (every send then needs a drop decision the packet path makes
-// per-event), or fast-forwarding disabled on this network.
+// invalid handle when the path is ineligible: fast-forwarding disabled
+// on this network, or the path is a blackout (a loss process that drops
+// every packet — fast-forwarding it would thrash the suspension
+// machinery for a path the packet path handles by pure timer traffic).
+// An ordinary loss process does NOT disqualify the path: drops are
+// resolved at send time by Transmit.
 func (n *Network) FastPath(from, to HostID) PathHandle {
 	if n.fastOff {
 		return PathHandle{}
 	}
 	p := n.pathState(from, to)
-	if p.params.LossRate > 0 || p.gilbert != nil {
+	if p.blackout() {
 		return PathHandle{}
 	}
 	return PathHandle{n: n, p: p, version: n.version}
+}
+
+// blackout reports whether the path's loss process drops every packet
+// with certainty in every state.
+func (p *path) blackout() bool {
+	if p.gilbert != nil {
+		return p.gilbert.params.LossGood >= 1 && p.gilbert.params.LossBad >= 1
+	}
+	return p.params.LossRate >= 1
 }
 
 // FastPathEnabled reports whether FastPath resolution is on (it is by
@@ -325,10 +356,14 @@ func (n *Network) NoteFastEpoch() {
 // fastpath_fallbacks_by_reason label order.
 type FallbackReason uint8
 
-// Fallback reasons, in canonical label order.
+// Fallback reasons, in canonical label order. Loss-recovery is the one
+// non-terminal reason: the epoch is suspended, not abandoned, and the
+// connection re-enters the lane once the loss is repaired (see
+// NoteFastReentry).
 const (
-	// FallbackLoss: the path carries a loss process, so every segment
-	// needs the per-event drop decision only the packet path makes.
+	// FallbackLoss: the path is a loss blackout (certain drop), so the
+	// fast path refuses it outright and the packet path carries the
+	// timer-driven retransmission traffic.
 	FallbackLoss FallbackReason = rt.ReasonLoss
 	// FallbackTopology: the topology version changed, or the peer's
 	// stack stopped being directly resolvable (foreign lane, detached
@@ -339,6 +374,11 @@ const (
 	// FallbackDisabled: fast-forwarding was switched off on this
 	// network (SetFastPathEnabled(false)).
 	FallbackDisabled FallbackReason = rt.ReasonDisabled
+	// FallbackLossRecovery: the loss process consumed a lane segment at
+	// send time; the epoch suspends for the per-packet recovery
+	// exchange and re-enters once the retransmission is cumulatively
+	// ACKed.
+	FallbackLossRecovery FallbackReason = rt.ReasonLossRecovery
 )
 
 // String returns the reason's metric label value.
@@ -361,12 +401,23 @@ func (n *Network) NoteFastFallback(reason FallbackReason) {
 	}
 }
 
+// NoteFastReentry records a connection resuming the fast lane after a
+// loss-recovery suspension: the retransmission was cumulatively ACKed
+// and the next segment re-entered an analytic epoch. Every re-entry is
+// also counted as an epoch entry by the NoteFastEpoch call that follows
+// it, so Reentries ≤ Epochs always.
+func (n *Network) NoteFastReentry() {
+	n.fastReentries++
+}
+
 // FastPathStats reports cumulative fast-path activity.
 type FastPathStats struct {
 	Epochs    uint64 // epochs entered by connections
 	Segments  uint64 // segments that bypassed the event heap
 	Bytes     uint64 // wire bytes carried by those segments
-	Fallbacks uint64 // epochs abandoned back to the packet path
+	Fallbacks uint64 // epochs suspended or abandoned back to the packet path
+	Reentries uint64 // epochs resumed after a loss-recovery suspension
+	LossDrops uint64 // lane segments consumed by loss processes at send time
 	// FallbacksByReason breaks Fallbacks down, indexed by
 	// FallbackReason.
 	FallbacksByReason [rt.NumReasons]uint64
@@ -379,6 +430,8 @@ func (n *Network) FastPathStats() FastPathStats {
 		Segments:          n.fastSegs,
 		Bytes:             n.fastBytes,
 		Fallbacks:         n.fastFallbacks,
+		Reentries:         n.fastReentries,
+		LossDrops:         n.fastLossDrops,
 		FallbacksByReason: n.fastByReason,
 	}
 }

@@ -10,10 +10,11 @@ import (
 
 func TestFallbackReasonStrings(t *testing.T) {
 	want := map[FallbackReason]string{
-		FallbackLoss:     "loss",
-		FallbackTopology: "topology",
-		FallbackTeardown: "teardown",
-		FallbackDisabled: "disabled",
+		FallbackLoss:         "loss",
+		FallbackTopology:     "topology",
+		FallbackTeardown:     "teardown",
+		FallbackDisabled:     "disabled",
+		FallbackLossRecovery: "loss-recovery",
 	}
 	for r, s := range want {
 		if got := r.String(); got != s {
@@ -68,7 +69,7 @@ func TestExportMetricsFallbackReasons(t *testing.T) {
 			t.Errorf("fastpath_fallbacks_by_reason{reason=%q} = %g, want %g", label, got, want)
 		}
 	}
-	if got := reg.Gauge("fastpath_fallbacks", "epochs abandoned back to the packet path (snapshot)").Value(); got != 3 {
+	if got := reg.Gauge("fastpath_fallbacks", "epochs suspended or abandoned back to the packet path (snapshot)").Value(); got != 3 {
 		t.Errorf("fastpath_fallbacks = %g, want 3", got)
 	}
 }

@@ -1,6 +1,7 @@
 package tcpsim
 
 import (
+	"fmt"
 	"testing"
 	"time"
 
@@ -101,6 +102,58 @@ func BenchmarkFastPathFallback(b *testing.B) {
 		if got != len(payload) {
 			b.Fatalf("incomplete: %d", got)
 		}
+	}
+}
+
+// lossyTransfer runs one 256 KB SACK transfer over a path with the
+// given loss parameters — the shared body of the lossy lane benchmarks.
+func lossyTransfer(b *testing.B, payload []byte, params simnet.PathParams) {
+	for i := 0; i < b.N; i++ {
+		sim := simnet.New(int64(i))
+		n := simnet.NewNetwork(sim)
+		n.SetLink("c", "s", params)
+		cfg := Config{SACK: true}
+		client := NewEndpoint(n, "c", cfg)
+		server := NewEndpoint(n, "s", cfg)
+		if _, err := server.Listen(80, func(c *Conn) {
+			c.Send(payload)
+			c.Close()
+		}); err != nil {
+			b.Fatal(err)
+		}
+		got := 0
+		conn := client.Dial("s", 80)
+		conn.OnData = func(d []byte) { got += len(d) }
+		conn.OnClose = func() { conn.Close() }
+		sim.Run()
+		if got != len(payload) {
+			b.Fatalf("incomplete: %d", got)
+		}
+	}
+}
+
+// BenchmarkGilbertLossyTransfer measures the lossy fast lane under the
+// paper's bursty loss model: 256 KB with SACK over a path whose
+// Gilbert–Elliott process averages ≈1% loss in bursts. Epochs suspend
+// per burst and re-enter once recovery completes; benchjson's allocs/op
+// hard gate watches this benchmark alongside the clean fast path.
+func BenchmarkGilbertLossyTransfer(b *testing.B) {
+	payload := make([]byte, 256<<10)
+	b.ReportAllocs()
+	g := simnet.WirelessGilbert()
+	lossyTransfer(b, payload, simnet.PathParams{Delay: 10 * time.Millisecond, Gilbert: &g})
+}
+
+// BenchmarkLossRateSweep sweeps i.i.d. loss rates across the regime the
+// studies exercise, bounding how lossy-lane throughput decays as
+// suspensions (one per drop) crowd out analytic epochs.
+func BenchmarkLossRateSweep(b *testing.B) {
+	payload := make([]byte, 256<<10)
+	for _, rate := range []float64{0.001, 0.005, 0.01, 0.02, 0.05} {
+		b.Run(fmt.Sprintf("loss=%g", rate), func(b *testing.B) {
+			b.SetBytes(int64(len(payload)))
+			lossyTransfer(b, payload, simnet.PathParams{Delay: 10 * time.Millisecond, LossRate: rate})
+		})
 	}
 }
 

@@ -1,7 +1,6 @@
 package tcpsim
 
 import (
-	"sort"
 	"time"
 
 	"fesplit/internal/simnet"
@@ -113,9 +112,24 @@ type Conn struct {
 	// later mid-epoch fallback reports the refusal's own reason.
 	fastNoWhy simnet.FallbackReason
 
+	// Loss-epoch suspension. A lossy path's drop decisions are made at
+	// send time (PathHandle.Transmit pre-draws the loss process in
+	// segment order), so the sender learns about a loss the instant it
+	// happens: the epoch suspends — the recovery exchange (dupACKs,
+	// retransmission, cwnd collapse) runs segment-granularly on the
+	// packet path — and re-enters the lane once the retransmission is
+	// cumulatively ACKed. lossSeq is the dropped segment's sequence
+	// number; an ACK beyond it with recovery finished lifts the
+	// suspension. Pure-ACK drops don't suspend: they occupy no sequence
+	// space, so there is no retransmission exchange to wait out.
+	lossWait    bool
+	lossSeq     uint64
+	lossReenter bool // count the next epoch entry as a re-entry
+
 	// --- receive side ---
 	rcvNxt   uint64
 	ooo      map[uint64][]byte // out-of-order segments keyed by seq
+	oooKeys  []uint64          // sorted mirror of ooo's keys (see oooInsertKey)
 	finRcvd  bool
 	finRseq  uint64
 	closedUp bool // OnClose already delivered
@@ -210,6 +224,19 @@ func (c *Conn) Send(data []byte) {
 	if c.finQueued || c.st == stateClosed || len(data) == 0 {
 		return
 	}
+	if need := len(c.sndBuf) + len(data); need > cap(c.sndBuf) {
+		// Explicit doubling: runtime append grows large slices by only
+		// ~1.25×, so streaming senders re-copied the buffer several
+		// times over. The old array is deliberately left intact —
+		// in-flight segments alias subslices of it (see sndBuf's doc).
+		newCap := 2 * cap(c.sndBuf)
+		if newCap < need {
+			newCap = need
+		}
+		grown := make([]byte, len(c.sndBuf), newCap)
+		copy(grown, c.sndBuf)
+		c.sndBuf = grown
+	}
 	c.sndBuf = append(c.sndBuf, data...)
 	if c.st == stateEstablished {
 		c.trySend()
@@ -248,17 +275,29 @@ func (c *Conn) seg(flags Flags, seq uint64, data []byte) Segment {
 	return s
 }
 
+// sortSACK is an allocation-free insertion sort for the sender's SACK
+// scoreboard — a handful of elements at most, where sort.Slice's
+// closure allocation and interface indirection dominate the actual
+// sorting work.
+func sortSACK(a []SACKBlock) {
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j].Start < a[j-1].Start; j-- {
+			a[j], a[j-1] = a[j-1], a[j]
+		}
+	}
+}
+
 // sackBlocks merges the out-of-order buffer into up to three
 // selective-ack ranges (RFC 2018 limits blocks to what fits the TCP
 // option space).
 func (c *Conn) sackBlocks() []SACKBlock {
-	keys := make([]uint64, 0, len(c.ooo))
-	for k := range c.ooo {
-		keys = append(keys, k)
-	}
-	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
-	var blocks []SACKBlock
-	for _, k := range keys {
+	// The returned slice is aliased by in-flight segments until
+	// delivery, so it cannot come from a per-connection scratch; a
+	// single cap-3 allocation replaces append's doubling growth.
+	// oooKeys is the map's sorted mirror — no per-ACK key collection
+	// or sort (this runs for every ACK while a hole is open).
+	blocks := make([]SACKBlock, 0, 3)
+	for _, k := range c.oooKeys {
 		end := k + uint64(len(c.ooo[k]))
 		if n := len(blocks); n > 0 && blocks[n-1].End >= k {
 			if end > blocks[n-1].End {
@@ -266,10 +305,12 @@ func (c *Conn) sackBlocks() []SACKBlock {
 			}
 			continue
 		}
+		if len(blocks) == 3 {
+			// A fourth disjoint range would be truncated anyway; later
+			// keys can only merge into it, never into blocks[0..2].
+			break
+		}
 		blocks = append(blocks, SACKBlock{Start: k, End: end})
-	}
-	if len(blocks) > 3 {
-		blocks = blocks[:3]
 	}
 	return blocks
 }
@@ -286,7 +327,7 @@ func (c *Conn) addSACK(blocks []SACKBlock) {
 	if len(c.sacked) < 2 {
 		return
 	}
-	sort.Slice(c.sacked, func(i, j int) bool { return c.sacked[i].Start < c.sacked[j].Start })
+	sortSACK(c.sacked)
 	merged := c.sacked[:1]
 	for _, b := range c.sacked[1:] {
 		last := &merged[len(merged)-1]
@@ -439,6 +480,12 @@ func (c *Conn) fastEligible() bool {
 	if c.st == stateClosed {
 		return false
 	}
+	if c.lossWait {
+		if c.inRecov || c.sndUna <= c.lossSeq {
+			return false // recovery exchange still in flight
+		}
+		c.lossWait = false // retransmission cumulatively ACKed: re-enter
+	}
 	if !c.fwdPath.Valid() {
 		if c.fastNo && c.fastNoVer == c.ep.net.Version() {
 			return false
@@ -468,7 +515,7 @@ func (c *Conn) resolveFast() bool {
 	h := net.FastPath(c.ep.host, c.remote)
 	if !h.Valid() {
 		// FastPath refuses for exactly two reasons: the engine is
-		// switched off, or the path carries a loss process.
+		// switched off, or the path is a loss blackout.
 		if !net.FastPathEnabled() {
 			return c.noFast(simnet.FallbackDisabled)
 		}
@@ -533,6 +580,10 @@ func (c *Conn) fastSend(s Segment) {
 	if !c.fastLane {
 		c.fastLane = true
 		e.net.NoteFastEpoch()
+		if c.lossReenter {
+			c.lossReenter = false
+			e.net.NoteFastReentry()
+		}
 	}
 	if e.Tap != nil {
 		e.Tap(TapEvent{Time: e.Sim().Now(), Dir: DirSend, Remote: string(c.remote), Segment: s})
@@ -543,7 +594,25 @@ func (c *Conn) fastSend(s Segment) {
 			m.Retransmits.Inc()
 		}
 	}
-	arrival := c.fwdPath.Transmit(e.cfg.HeaderSize + len(s.Data))
+	arrival, dropped := c.fwdPath.Transmit(e.cfg.HeaderSize + len(s.Data))
+	if dropped {
+		// The loss process consumed the segment at send time — exactly
+		// the draw Network.Send would have made; nothing is scheduled in
+		// either lane. A pure ACK occupies no sequence space and has no
+		// recovery exchange, so the epoch continues. A data, SYN or FIN
+		// segment suspends the epoch: the dupACK/retransmission exchange
+		// runs segment-granularly on the packet path, and the lane is
+		// re-entered once the retransmission is cumulatively ACKed (see
+		// fastEligible).
+		if len(s.Data) > 0 || s.Flags&(FlagSYN|FlagFIN) != 0 {
+			c.fastLane = false
+			c.lossWait = true
+			c.lossSeq = s.Seq
+			c.lossReenter = true
+			e.net.NoteFastFallback(simnet.FallbackLossRecovery)
+		}
+		return
+	}
 	r := c.ring
 	if r.n > 0 && arrival < r.tailAt {
 		// Arrival regressed below an event already queued: a SetPath
@@ -1028,6 +1097,7 @@ func (c *Conn) processPayload(s Segment) {
 		if len(s.Data) > 0 {
 			if _, dup := c.ooo[s.Seq]; !dup {
 				c.ooo[s.Seq] = c.ep.segPool.copyIn(s.Data)
+				c.oooInsertKey(s.Seq)
 			}
 		}
 		if s.Flags&FlagFIN != 0 {
@@ -1085,22 +1155,33 @@ func (c *Conn) drainOOO() bool {
 		c.ep.segPool.put(d)
 		drained = true
 	}
-	// Discard stale overlapping buffers (segments now below rcvNxt),
-	// returning them to the pool.
-	if drained && len(c.ooo) > 0 {
-		keys := make([]uint64, 0, len(c.ooo))
-		for k := range c.ooo {
-			keys = append(keys, k)
-		}
-		sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
-		for _, k := range keys {
-			if k < c.rcvNxt {
-				c.ep.segPool.put(c.ooo[k])
+	// Drop the sorted-key prefix now below rcvNxt: the keys drained
+	// above, plus stale overlapping buffers (returned to the pool).
+	if drained && len(c.oooKeys) > 0 {
+		i := 0
+		for ; i < len(c.oooKeys) && c.oooKeys[i] < c.rcvNxt; i++ {
+			k := c.oooKeys[i]
+			if d, ok := c.ooo[k]; ok { // stale overlap, not drained above
+				c.ep.segPool.put(d)
 				delete(c.ooo, k)
 			}
 		}
+		c.oooKeys = c.oooKeys[:copy(c.oooKeys, c.oooKeys[i:])]
 	}
 	return drained
+}
+
+// oooInsertKey splices seq into oooKeys, the sorted mirror of the ooo
+// map's key set. Out-of-order arrivals cluster near the tail, so the
+// linear scan from the end is typically a single compare.
+func (c *Conn) oooInsertKey(seq uint64) {
+	i := len(c.oooKeys)
+	for i > 0 && c.oooKeys[i-1] > seq {
+		i--
+	}
+	c.oooKeys = append(c.oooKeys, 0)
+	copy(c.oooKeys[i+1:], c.oooKeys[i:])
+	c.oooKeys[i] = seq
 }
 
 func (c *Conn) deliver(data []byte) {
@@ -1201,6 +1282,7 @@ func (c *Conn) releaseOOO() {
 		delete(c.ooo, k)
 		c.ep.segPool.put(d)
 	}
+	c.oooKeys = c.oooKeys[:0]
 }
 
 // maybeFinish tears the connection down once both directions are done:

@@ -38,6 +38,10 @@ type transcript struct {
 	serverM Metrics
 	gotLen  int
 	doneAt  time.Duration
+	// stats is the run's fast-path accounting — deliberately NOT part
+	// of diff (the packet-path run has no epochs by construction); the
+	// loss-boundary tests use it to prove a scenario exercised the lane.
+	stats simnet.FastPathStats
 }
 
 func (tr *transcript) diff(other *transcript) string {
@@ -73,6 +77,8 @@ type fastScenario struct {
 	delay      time.Duration
 	jitter     time.Duration
 	lossRate   float64
+	gilbert    simnet.GilbertParams // used when useGilbert
+	useGilbert bool
 	bandwidth  float64
 	size       int
 	mss        int
@@ -93,13 +99,25 @@ func randScenario(r *rand.Rand) fastScenario {
 	if r.Intn(2) == 0 {
 		s.jitter = time.Duration(r.Intn(5)) * time.Millisecond
 	}
-	switch r.Intn(3) {
+	switch r.Intn(5) {
 	case 0:
 		s.lossRate = 0 // clean: fast path carries the whole transfer
 	case 1:
-		s.lossRate = 0.02 // lossy: fast path must refuse
+		s.lossRate = 0.02 // lossy: epochs suspend per recovery exchange
 	case 2:
 		s.lossRate = 0.002 // rare loss
+	case 3, 4:
+		// Bursty Gilbert loss with randomized parameters: the chain's
+		// state survives across epoch suspensions, so the fast lane
+		// must consume its two uniforms per segment in exactly the
+		// packet path's order.
+		s.useGilbert = true
+		s.gilbert = simnet.GilbertParams{
+			PGoodToBad: 0.001 + 0.05*r.Float64(),
+			PBadToGood: 0.05 + 0.45*r.Float64(),
+			LossGood:   0.01 * r.Float64(),
+			LossBad:    0.1 + 0.5*r.Float64(),
+		}
 	}
 	if r.Intn(2) == 0 {
 		s.bandwidth = float64(1+r.Intn(20)) * 1e6
@@ -118,9 +136,14 @@ func (s fastScenario) run(t *testing.T, fast bool, mutate func(*simnet.Network, 
 	t.Helper()
 	sim := simnet.New(s.seed)
 	n := simnet.NewNetwork(sim)
-	n.SetLink("c", "s", simnet.PathParams{
+	pp := simnet.PathParams{
 		Delay: s.delay, Jitter: s.jitter, LossRate: s.lossRate, Bandwidth: s.bandwidth,
-	})
+	}
+	if s.useGilbert {
+		g := s.gilbert
+		pp.Gilbert = &g
+	}
+	n.SetLink("c", "s", pp)
 	n.SetFastPathEnabled(fast)
 	cfg := Config{MSS: s.mss, InitialCwnd: s.iw, DelayedAck: s.delayedAck, SACK: s.sack}
 	tn := &testNet{
@@ -183,6 +206,7 @@ func (s fastScenario) run(t *testing.T, fast bool, mutate func(*simnet.Network, 
 	if srv != nil {
 		tr.serverM = srv.Metrics()
 	}
+	tr.stats = n.FastPathStats()
 	return tr
 }
 
@@ -287,14 +311,39 @@ func TestFastPathStatsAccounting(t *testing.T) {
 		t.Fatalf("clean transfer recorded fallbacks: %+v", st)
 	}
 
-	// Lossy from the start: the path never qualifies, no epochs at all.
+	// Lossy from the start: the lane carries the loss-free stretches,
+	// suspending for each recovery exchange and re-entering afterwards.
 	s2 := s
 	s2.lossRate = 0.05
 	s2.seed = 8
 	var n2 *simnet.Network
 	s2.run(t, true, func(net *simnet.Network, tn *testNet) { n2 = net })
-	if st2 := n2.FastPathStats(); st2.Epochs != 0 || st2.Segments != 0 {
-		t.Fatalf("lossy path entered fast epochs: %+v", st2)
+	st2 := n2.FastPathStats()
+	if st2.Epochs == 0 || st2.Segments == 0 {
+		t.Fatalf("lossy path entered no fast epochs: %+v", st2)
+	}
+	if st2.LossDrops == 0 {
+		t.Fatalf("5%% loss recorded no send-time lane drops: %+v", st2)
+	}
+	if st2.FallbacksByReason[simnet.FallbackLossRecovery] == 0 {
+		t.Fatalf("lane drops produced no loss-recovery suspensions: %+v", st2)
+	}
+	if st2.Reentries == 0 {
+		t.Fatalf("suspensions never re-entered the lane: %+v", st2)
+	}
+	if st2.Reentries > st2.Epochs {
+		t.Fatalf("re-entries %d exceed epoch entries %d", st2.Reentries, st2.Epochs)
+	}
+
+	// A blackout path (certain loss) never qualifies: the packet path
+	// carries the pure timer/retransmission traffic.
+	s3 := s
+	s3.lossRate = 1
+	s3.seed = 9
+	var n3 *simnet.Network
+	s3.run(t, true, func(net *simnet.Network, tn *testNet) { n3 = net })
+	if st3 := n3.FastPathStats(); st3.Epochs != 0 || st3.Segments != 0 {
+		t.Fatalf("blackout path entered fast epochs: %+v", st3)
 	}
 }
 
@@ -343,8 +392,14 @@ func TestFastPathFallbackReasonClassification(t *testing.T) {
 		reason simnet.FallbackReason
 		apply  func(n *simnet.Network)
 	}{
-		{"loss", simnet.FallbackLoss, func(n *simnet.Network) {
+		// An ordinary loss process no longer abandons the epoch: the
+		// lane suspends per recovery exchange ("loss-recovery").
+		{"loss-recovery", simnet.FallbackLossRecovery, func(n *simnet.Network) {
 			n.SetPath("s", "c", simnet.PathParams{Delay: 10 * time.Millisecond, LossRate: 0.3})
+		}},
+		// A blackout (certain loss) is refused outright ("loss").
+		{"loss", simnet.FallbackLoss, func(n *simnet.Network) {
+			n.SetPath("s", "c", simnet.PathParams{Delay: 10 * time.Millisecond, LossRate: 1})
 		}},
 		{"disabled", simnet.FallbackDisabled, func(n *simnet.Network) {
 			n.SetFastPathEnabled(false)

@@ -176,7 +176,8 @@ func TestSACKBlocksCapAtThree(t *testing.T) {
 		ooo: map[uint64][]byte{
 			10: make([]byte, 2), 20: make([]byte, 2), 30: make([]byte, 2),
 			40: make([]byte, 2), 50: make([]byte, 2),
-		}}
+		},
+		oooKeys: []uint64{10, 20, 30, 40, 50}}
 	blocks := c.sackBlocks()
 	if len(blocks) != 3 {
 		t.Fatalf("blocks = %d, want capped at 3", len(blocks))
@@ -194,7 +195,8 @@ func TestSACKContiguousOOOMergesToOneBlock(t *testing.T) {
 			100: make([]byte, 50),
 			150: make([]byte, 50), // contiguous
 			300: make([]byte, 10),
-		}}
+		},
+		oooKeys: []uint64{100, 150, 300}}
 	blocks := c.sackBlocks()
 	if len(blocks) != 2 || blocks[0] != (SACKBlock{100, 200}) || blocks[1] != (SACKBlock{300, 310}) {
 		t.Fatalf("blocks = %+v", blocks)

@@ -85,6 +85,36 @@ func Parse(key capture.ConnKey, events []capture.Event) (*Session, error) {
 	}
 	var chunks []chunk
 
+	// Pre-scan: size the reassembly buffer and chunk list in one exact
+	// allocation each. The per-chunk append-and-zero growth this
+	// replaces was the top allocator in wireless-study profiles (every
+	// extension allocated a fresh zeroed tail and often reallocated the
+	// whole payload).
+	maxEnd, nChunks := 0, 0
+	for _, ev := range events {
+		if ev.Dir != tcpsim.DirRecv {
+			continue
+		}
+		plen := len(ev.Seg.Data)
+		if ev.PayloadLen > plen {
+			plen = ev.PayloadLen
+		}
+		if plen == 0 {
+			continue
+		}
+		nChunks++
+		if end := int(ev.Seg.Seq-1) + plen; end > maxEnd {
+			maxEnd = end
+		}
+	}
+	if nChunks > 0 {
+		chunks = make([]chunk, 0, nChunks)
+		// Extended by reslicing as chunks land: the fresh backing array
+		// is already zeroed, and only chunk copies write to it, so
+		// never-received gaps read as zero exactly as before.
+		s.Payload = make([]byte, 0, maxEnd)
+	}
+
 	for _, ev := range events {
 		seg := ev.Seg
 		// Payload length survives snapping (tcpdump snaplen-style
@@ -127,7 +157,7 @@ func Parse(key capture.ConnKey, events []capture.Event) (*Session, error) {
 				}
 				// Reassemble whatever bytes were captured.
 				if need := chunks[len(chunks)-1].end; need > len(s.Payload) {
-					s.Payload = append(s.Payload, make([]byte, need-len(s.Payload))...)
+					s.Payload = s.Payload[:need] // within the pre-scanned cap
 				}
 				copy(s.Payload[start:], seg.Data)
 			}
@@ -145,22 +175,53 @@ func Parse(key capture.ConnKey, events []capture.Event) (*Session, error) {
 
 	// First-arrival map: earliest time each stream offset was received.
 	// Chunks are in time order, so keep only ranges not fully covered.
-	covered := make([]bool, len(s.Payload))
+	// Coverage is tracked as sorted disjoint intervals instead of a
+	// per-byte bitmap: retransmission-heavy traces used to zero and
+	// walk a payload-sized bool slice per session.
+	type span struct{ start, end int }
+	var covered []span
 	for _, c := range chunks {
-		segStart := -1
-		for off := c.start; off < c.end && off < len(covered); off++ {
-			if !covered[off] {
-				covered[off] = true
-				if segStart < 0 {
-					segStart = off
+		// First covered interval that could overlap or abut [start,end).
+		lo := sort.Search(len(covered), func(i int) bool { return covered[i].end >= c.start })
+		// Emit the uncovered gaps in ascending offset order — exactly
+		// the ranges the bitmap walk marked fresh.
+		pos, j := c.start, lo
+		for pos < c.end {
+			if j < len(covered) && covered[j].start <= pos {
+				if covered[j].end > pos {
+					pos = covered[j].end
 				}
-			} else if segStart >= 0 {
-				s.arrivals = append(s.arrivals, arrival{start: segStart, end: off, at: c.at})
-				segStart = -1
+				j++
+				continue
+			}
+			gapEnd := c.end
+			if j < len(covered) && covered[j].start < gapEnd {
+				gapEnd = covered[j].start
+			}
+			if pos < gapEnd {
+				s.arrivals = append(s.arrivals, arrival{start: pos, end: gapEnd, at: c.at})
+				pos = gapEnd
 			}
 		}
-		if segStart >= 0 {
-			s.arrivals = append(s.arrivals, arrival{start: segStart, end: c.end, at: c.at})
+		// Splice [start,end) into the covered set, merging every
+		// interval it overlaps or abuts.
+		hi, merged := lo, span{c.start, c.end}
+		for hi < len(covered) && covered[hi].start <= c.end {
+			if covered[hi].start < merged.start {
+				merged.start = covered[hi].start
+			}
+			if covered[hi].end > merged.end {
+				merged.end = covered[hi].end
+			}
+			hi++
+		}
+		if hi == lo {
+			covered = append(covered, span{})
+			copy(covered[lo+1:], covered[lo:])
+			covered[lo] = merged
+		} else {
+			covered[lo] = merged
+			covered = append(covered[:lo+1], covered[hi:]...)
 		}
 		if c.at > s.TE {
 			s.TE = c.at

@@ -330,7 +330,7 @@ func htmlFastPath(bw *htmlWriter, reg *MetricsRegistry) {
 		return
 	}
 	bw.printf("<h2>Fast-forward engine</h2>\n")
-	bw.printf("<p class=\"note\">loss-free TCP transfers are fast-forwarded: segment deliveries are computed analytically and bypass the global event heap (packet-equivalent by construction; the busiest study cell's snapshot after the shard merge).</p>\n")
+	bw.printf("<p class=\"note\">TCP transfers are fast-forwarded: segment deliveries are computed analytically and bypass the global event heap (packet-equivalent by construction; the busiest study cell's snapshot after the shard merge). Lossy flows alternate between analytic epochs and per-packet recovery exchanges — a send-time lane drop suspends the epoch, and the lane re-enters once the retransmission is cumulatively ACKed.</p>\n")
 	bw.printf("<table>\n<tr><th class=\"l\">gauge</th><th>value</th></tr>\n")
 	bw.printf("<tr><td class=\"l\">fastpath_epochs</td><td>%s</td></tr>\n", trimFloat(u.Epochs))
 	bw.printf("<tr><td class=\"l\">fastpath_bytes</td><td>%s</td></tr>\n", trimFloat(u.Bytes))
@@ -340,7 +340,11 @@ func htmlFastPath(bw *htmlWriter, reg *MetricsRegistry) {
 		bw.printf("<tr><td class=\"l\">&nbsp;&nbsp;reason: topology</td><td>%s</td></tr>\n", trimFloat(u.FallbackTopology))
 		bw.printf("<tr><td class=\"l\">&nbsp;&nbsp;reason: teardown</td><td>%s</td></tr>\n", trimFloat(u.FallbackTeardown))
 		bw.printf("<tr><td class=\"l\">&nbsp;&nbsp;reason: disabled</td><td>%s</td></tr>\n", trimFloat(u.FallbackDisabled))
+		bw.printf("<tr><td class=\"l\">&nbsp;&nbsp;reason: loss-recovery</td><td>%s</td></tr>\n", trimFloat(u.FallbackLossRecovery))
 	}
+	bw.printf("<tr><td class=\"l\">fastpath_reentries</td><td>%s</td></tr>\n", trimFloat(u.Reentries))
+	bw.printf("<tr><td class=\"l\">fastpath_loss_drops</td><td>%s</td></tr>\n", trimFloat(u.LossDrops))
+	bw.printf("<tr><td class=\"l\">fastpath_epoch_segments</td><td>%s</td></tr>\n", trimFloat(u.EpochSegments))
 	bw.printf("</table>\n")
 }
 
