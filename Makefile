@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet bench bench-json bench-compare check report report-full examples clean fuzz-smoke equivalence fastpath-check lossy-check telemetry-smoke profile-smoke queueing-check
+.PHONY: all build test vet bench bench-json bench-compare check report report-full examples clean fuzz-smoke equivalence fastpath-check lossy-check telemetry-smoke profile-smoke queueing-check scale-check
 
 all: build vet test
 
@@ -28,7 +28,7 @@ bench-compare:
 	$(GO) run ./cmd/benchjson -benchtime 100ms -o bench-check.json \
 		-compare $(BENCH_BASELINE) -warn-only
 
-BENCH_BASELINE ?= BENCH_9.json
+BENCH_BASELINE ?= BENCH_10.json
 
 # Fast-forward engine equivalence gate: the differential property test
 # (randomized RTT/loss/size/cwnd scenarios — i.i.d. and Gilbert — fast
@@ -68,6 +68,15 @@ queueing-check:
 	$(GO) test -race -count=3 ./internal/backend ./internal/frontend
 	$(GO) test -race -count=2 -run 'TestQueueScenariosDeterministic|TestGoldenFigureCSVs' .
 	$(GO) test -run '^$$' -fuzz FuzzAdmissionControl -fuzztime 10s ./internal/frontend
+
+# Bounded-memory fleet gate, end to end through the CLI: a 10⁴-client
+# streaming diurnal campaign must complete every arrival with the heap
+# watermark under the pinned bound (192 MiB, matching
+# TestFleetStudyHeapBound) and a worker-invariant fleet.csv, and the
+# small-scale figure CSVs must stay byte-identical to testdata/golden.
+# See docs/SCALE.md.
+scale-check: build
+	./scripts/scale_smoke.sh ./bin/fesplit
 
 # Runtime-telemetry smoke, end to end through the CLI: a short study
 # with heartbeat, streaming sink and the HTTP endpoint all on; scrapes
@@ -117,8 +126,9 @@ bench:
 	$(GO) test -bench=. -benchmem ./...
 
 # Perf-trajectory snapshot: root study benchmarks plus the simnet and
-# tcpsim micro-benchmarks, recorded as BENCH_9.json (name → ns/op,
-# B/op, allocs/op). Later PRs diff new snapshots against this file.
+# tcpsim micro-benchmarks, recorded as BENCH_10.json (name → ns/op,
+# B/op, allocs/op, heap_bytes). Later PRs diff new snapshots against
+# this file.
 #
 # The `[^4]$` bench regexp drops BenchmarkStudyRunAllWorkers4 — the
 # only name ending in "4" — so the full study runs once, not twice.
@@ -126,7 +136,7 @@ bench:
 # not depend on the runner's core count, and the parallel runner's
 # correctness is already pinned byte-for-byte by `make equivalence`.
 bench-json:
-	$(GO) run ./cmd/benchjson -bench '[^4]$$' -o BENCH_9.json
+	$(GO) run ./cmd/benchjson -bench '[^4]$$' -o BENCH_10.json
 
 # Light-scale figure regeneration (seconds).
 report: build

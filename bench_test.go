@@ -560,6 +560,55 @@ func benchRunAll(b *testing.B, workers int) {
 	}
 }
 
+// BenchmarkFleet10k runs the ephemeral-client fleet campaign at 10⁴
+// clients and reports the bounded-memory headline numbers: the heap
+// watermark (the `heap-bytes` family benchjson gates against the
+// baseline), the pooled slot count and the peak FE fetch-log length.
+// The watermark tracks the diurnal curve's peak concurrency, not the
+// client count — the same campaign at 10⁶ clients holds a flat heap.
+func BenchmarkFleet10k(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		study := benchStudy()
+		eng := NewRuntimeEngine()
+		study.SetRuntime(eng)
+		res, err := study.RunFleetStudy(FleetStudyConfig{
+			Clients: 10_000, Horizon: 4 * time.Minute, Batches: 2,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Merged.Completed != 10_000 {
+			b.Fatalf("completed %d/10000", res.Merged.Completed)
+		}
+		b.ReportMetric(float64(res.HeapWatermark), "heap-bytes")
+		b.ReportMetric(float64(res.Merged.Slots), "pooled-slots")
+		b.ReportMetric(float64(res.Merged.PeakFELog), "peak-felog")
+	}
+}
+
+// BenchmarkOpenLoopDiurnal drives the materialized-fleet open-loop
+// runner through a diurnal rate curve and reports the arrival count
+// and completion quality — the satellite path RunFleetStudy's curve
+// shaping shares with the classic 250-node emulator.
+func BenchmarkOpenLoopDiurnal(b *testing.B) {
+	curve := emulator.DefaultDiurnalCurve(2*time.Minute, 1)
+	for i := 0; i < b.N; i++ {
+		runner, err := emulator.New(benchSeed, cdn.GoogleLike(benchSeed),
+			emulator.Options{Nodes: 25, FleetSeed: benchSeed + 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		res := runner.RunOpenLoop(emulator.OpenLoopOptions{
+			Horizon: 2 * time.Minute, BaseInterval: 4 * time.Second,
+			QuerySeed: benchSeed + 2, Curve: &curve,
+		})
+		if len(res.Records) == 0 {
+			b.Fatal("no arrivals")
+		}
+		b.ReportMetric(float64(len(res.Records)), "arrivals")
+	}
+}
+
 // BenchmarkExtModelValidation quantifies the analytic model's fit to
 // the packet-level simulation.
 func BenchmarkExtModelValidation(b *testing.B) {

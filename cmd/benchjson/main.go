@@ -46,19 +46,29 @@ import (
 	"strconv"
 )
 
-// Result is one benchmark's measured costs.
+// Result is one benchmark's measured costs. HeapBytes is the custom
+// `heap-bytes` metric the bounded-memory benchmarks report (peak live
+// heap over the campaign, via the runtime engine's watermark); zero for
+// benchmarks that don't report it.
 type Result struct {
 	NsPerOp     float64 `json:"ns_per_op"`
 	BytesPerOp  float64 `json:"bytes_per_op"`
 	AllocsPerOp float64 `json:"allocs_per_op"`
+	HeapBytes   float64 `json:"heap_bytes"`
 	Iterations  int64   `json:"iterations"`
 }
 
-// benchLine matches `go test -bench -benchmem` result lines, e.g.
+// benchLine matches the name/iterations/ns-op prefix of `go test
+// -bench -benchmem` result lines; the tail holds the remaining metric
+// pairs in whatever order the testing package printed them (custom
+// b.ReportMetric units sort between ns/op and the -benchmem pair), e.g.
 //
-//	BenchmarkEventThroughput-8   3022214   396.1 ns/op   133 B/op   2 allocs/op
+//	BenchmarkFleet10k-8   1   2.1e9 ns/op   1.2e8 heap-bytes   133 B/op   2 allocs/op
 var benchLine = regexp.MustCompile(
-	`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([\d.]+) ns/op(?:\s+([\d.]+) B/op)?(?:\s+(\d+) allocs/op)?`)
+	`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([\d.eE+]+) ns/op(.*)$`)
+
+// metricPair matches one `value unit` pair in a result line's tail.
+var metricPair = regexp.MustCompile(`([\d.eE+]+) (\S+)`)
 
 func main() {
 	out := flag.String("o", "BENCH_1.json", "output JSON file")
@@ -68,6 +78,8 @@ func main() {
 	threshold := flag.Float64("threshold", 15, "ns/op regression threshold in percent for -compare")
 	allocThreshold := flag.Float64("alloc-threshold", 10,
 		"allocs/op regression threshold in percent on gated hot-path benchmarks")
+	heapThreshold := flag.Float64("heap-threshold", 30,
+		"heap-bytes watermark regression threshold in percent on the bounded-memory campaign benchmarks")
 	warnOnly := flag.Bool("warn-only", false,
 		"with -compare, report ns/op regressions without failing (allocs/op regressions still fail)")
 	jsonOut := flag.Bool("json", false,
@@ -110,8 +122,9 @@ func main() {
 		}
 		regs := findRegressions(baseline, results, *threshold)
 		aregs := findAllocRegressions(baseline, results, *allocThreshold)
+		hregs := findHeapRegressions(baseline, results, *heapThreshold)
 		if *jsonOut {
-			os.Stdout.Write(deltasJSON(buildDeltas(baseline, results, regs, aregs)))
+			os.Stdout.Write(deltasJSON(buildDeltas(baseline, results, regs, aregs, hregs)))
 		} else {
 			for _, r := range regs {
 				fmt.Printf("REGRESSION %s: %s → %s ns/op (%+.1f%%, threshold %g%%)\n",
@@ -133,11 +146,20 @@ func main() {
 				fmt.Printf("no allocs/op regressions beyond %g%% on hot-path benchmarks vs %s\n",
 					*allocThreshold, *compare)
 			}
+			for _, r := range hregs {
+				fmt.Printf("HEAP REGRESSION %s: %s → %s heap-bytes (%+.1f%%, threshold %g%%)\n",
+					r.Name, fnum(r.Old), fnum(r.New), r.Pct, *heapThreshold)
+			}
+			if len(hregs) == 0 {
+				fmt.Printf("no heap-bytes regressions beyond %g%% on campaign benchmarks vs %s\n",
+					*heapThreshold, *compare)
+			}
 		}
-		// Wall-clock regressions respect -warn-only; allocation
-		// regressions never do — allocs/op is deterministic, so a
-		// regression there is a real code change, not runner noise.
-		if (len(regs) > 0 && !*warnOnly) || len(aregs) > 0 {
+		// Wall-clock regressions respect -warn-only; allocation and
+		// heap-watermark regressions never do — both are properties of
+		// the code's memory design, not runner noise (the heap gate's
+		// wider threshold absorbs GC-timing variance).
+		if (len(regs) > 0 && !*warnOnly) || len(aregs) > 0 || len(hregs) > 0 {
 			os.Exit(1)
 		}
 	}
@@ -154,19 +176,27 @@ type Delta struct {
 	OldAllocs  float64
 	NewAllocs  float64
 	AllocsPct  float64
+	OldHeap    float64
+	NewHeap    float64
+	HeapPct    float64
 	Pass       bool
 }
 
 // buildDeltas produces one Delta per benchmark present in both files,
 // sorted by name, with Pass derived from the already-computed
 // regression lists so the two output modes can never disagree.
-func buildDeltas(baseline, fresh map[string]Result, regs, aregs []Regression) []Delta {
+func buildDeltas(baseline, fresh map[string]Result, regs, aregs []Regression, hregs ...[]Regression) []Delta {
 	failed := map[string]bool{}
 	for _, r := range regs {
 		failed[r.Name] = true
 	}
 	for _, r := range aregs {
 		failed[r.Name] = true
+	}
+	for _, hr := range hregs {
+		for _, r := range hr {
+			failed[r.Name] = true
+		}
 	}
 	var ds []Delta
 	for name, nr := range fresh {
@@ -188,6 +218,10 @@ func buildDeltas(baseline, fresh map[string]Result, regs, aregs []Regression) []
 		if br.AllocsPerOp > 0 {
 			d.AllocsPct = 100 * (nr.AllocsPerOp - br.AllocsPerOp) / br.AllocsPerOp
 		}
+		d.OldHeap, d.NewHeap = br.HeapBytes, nr.HeapBytes
+		if br.HeapBytes > 0 {
+			d.HeapPct = 100 * (nr.HeapBytes - br.HeapBytes) / br.HeapBytes
+		}
 		ds = append(ds, d)
 	}
 	sort.Slice(ds, func(i, j int) bool { return ds[i].Name < ds[j].Name })
@@ -202,9 +236,11 @@ func deltasJSON(ds []Delta) []byte {
 	for i, d := range ds {
 		fmt.Fprintf(&b,
 			"  {\"name\": %q, \"old_ns_per_op\": %s, \"new_ns_per_op\": %s, \"ns_pct\": %.1f, "+
-				"\"old_allocs_per_op\": %s, \"new_allocs_per_op\": %s, \"allocs_pct\": %.1f, \"pass\": %t}",
+				"\"old_allocs_per_op\": %s, \"new_allocs_per_op\": %s, \"allocs_pct\": %.1f, "+
+				"\"old_heap_bytes\": %s, \"new_heap_bytes\": %s, \"heap_pct\": %.1f, \"pass\": %t}",
 			d.Name, fnum(d.OldNsPerOp), fnum(d.NewNsPerOp), d.NsPct,
-			fnum(d.OldAllocs), fnum(d.NewAllocs), d.AllocsPct, d.Pass)
+			fnum(d.OldAllocs), fnum(d.NewAllocs), d.AllocsPct,
+			fnum(d.OldHeap), fnum(d.NewHeap), d.HeapPct, d.Pass)
 		if i < len(ds)-1 {
 			b.WriteByte(',')
 		}
@@ -212,6 +248,35 @@ func deltasJSON(ds []Delta) []byte {
 	}
 	b.WriteString("]\n")
 	return b.Bytes()
+}
+
+// heapGated matches the bounded-memory campaign benchmarks whose
+// heap-bytes watermark is gated: the fleet campaigns exist to keep the
+// heap flat, so watermark growth beyond the threshold is a regression
+// in the pooling/recycling design, not noise. GC timing adds some
+// variance, hence the wider default threshold than allocs/op.
+var heapGated = regexp.MustCompile(`^Benchmark(Fleet|OpenLoopDiurnal)`)
+
+// findHeapRegressions diffs the heap-bytes watermark on the heap-gated
+// benchmarks. Only benchmarks where both files carry a watermark
+// participate (a zero means the benchmark doesn't report the metric).
+func findHeapRegressions(baseline, fresh map[string]Result, threshold float64) []Regression {
+	var regs []Regression
+	for name, nr := range fresh {
+		if !heapGated.MatchString(name) {
+			continue
+		}
+		br, ok := baseline[name]
+		if !ok || br.HeapBytes <= 0 || nr.HeapBytes <= 0 {
+			continue
+		}
+		pct := 100 * (nr.HeapBytes - br.HeapBytes) / br.HeapBytes
+		if pct > threshold {
+			regs = append(regs, Regression{Name: name, Old: br.HeapBytes, New: nr.HeapBytes, Pct: pct})
+		}
+	}
+	sort.Slice(regs, func(i, j int) bool { return regs[i].Name < regs[j].Name })
+	return regs
 }
 
 // allocGated matches the hot-path benchmarks whose allocs/op are
@@ -314,19 +379,22 @@ func runPkg(pkg, bench, benchtime string, results map[string]Result) error {
 		}
 		iters, _ := strconv.ParseInt(m[2], 10, 64)
 		ns, _ := strconv.ParseFloat(m[3], 64)
-		var bytesOp, allocs float64
-		if m[4] != "" {
-			bytesOp, _ = strconv.ParseFloat(m[4], 64)
+		r := Result{NsPerOp: ns, Iterations: iters}
+		for _, pair := range metricPair.FindAllStringSubmatch(m[4], -1) {
+			v, err := strconv.ParseFloat(pair[1], 64)
+			if err != nil {
+				continue
+			}
+			switch pair[2] {
+			case "B/op":
+				r.BytesPerOp = v
+			case "allocs/op":
+				r.AllocsPerOp = v
+			case "heap-bytes":
+				r.HeapBytes = v
+			}
 		}
-		if m[5] != "" {
-			allocs, _ = strconv.ParseFloat(m[5], 64)
-		}
-		results[m[1]] = Result{
-			NsPerOp:     ns,
-			BytesPerOp:  bytesOp,
-			AllocsPerOp: allocs,
-			Iterations:  iters,
-		}
+		results[m[1]] = r
 	}
 	return sc.Err()
 }
@@ -344,8 +412,8 @@ func writeJSON(path string, results map[string]Result) error {
 	b.WriteString("{\n")
 	for i, n := range names {
 		r := results[n]
-		fmt.Fprintf(&b, "  %q: {\"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s, \"iterations\": %d}",
-			n, fnum(r.NsPerOp), fnum(r.BytesPerOp), fnum(r.AllocsPerOp), r.Iterations)
+		fmt.Fprintf(&b, "  %q: {\"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s, \"heap_bytes\": %s, \"iterations\": %d}",
+			n, fnum(r.NsPerOp), fnum(r.BytesPerOp), fnum(r.AllocsPerOp), fnum(r.HeapBytes), r.Iterations)
 		if i < len(names)-1 {
 			b.WriteByte(',')
 		}

@@ -59,10 +59,50 @@ func TestFindAllocRegressions(t *testing.T) {
 	}
 }
 
+func TestBenchLineParsesCustomMetrics(t *testing.T) {
+	line := "BenchmarkFleet10k-8   1   1647740429 ns/op   21216496 heap-bytes   65.00 peak-felog   2894533152 B/op   1645416 allocs/op"
+	m := benchLine.FindStringSubmatch(line)
+	if m == nil {
+		t.Fatalf("benchLine did not match %q", line)
+	}
+	if m[1] != "BenchmarkFleet10k" || m[2] != "1" || m[3] != "1647740429" {
+		t.Fatalf("prefix groups = %q %q %q", m[1], m[2], m[3])
+	}
+	got := map[string]string{}
+	for _, pair := range metricPair.FindAllStringSubmatch(m[4], -1) {
+		got[pair[2]] = pair[1]
+	}
+	if got["heap-bytes"] != "21216496" || got["B/op"] != "2894533152" || got["allocs/op"] != "1645416" {
+		t.Fatalf("metric pairs = %v", got)
+	}
+}
+
+func TestFindHeapRegressions(t *testing.T) {
+	baseline := map[string]Result{
+		"BenchmarkFleet10k":        {NsPerOp: 1e9, HeapBytes: 100 << 20},
+		"BenchmarkOpenLoopDiurnal": {NsPerOp: 1e8, HeapBytes: 50 << 20},
+		"BenchmarkFleetNoMetric":   {NsPerOp: 1e8}, // zero baseline: skipped
+		"BenchmarkFig6RTTCDF":      {NsPerOp: 1e8, HeapBytes: 10 << 20},
+	}
+	fresh := map[string]Result{
+		"BenchmarkFleet10k":        {NsPerOp: 1e9, HeapBytes: 150 << 20}, // +50%: fails
+		"BenchmarkOpenLoopDiurnal": {NsPerOp: 1e8, HeapBytes: 55 << 20},  // +10%: inside
+		"BenchmarkFleetNoMetric":   {NsPerOp: 1e8, HeapBytes: 99 << 20},
+		"BenchmarkFig6RTTCDF":      {NsPerOp: 1e8, HeapBytes: 99 << 20}, // ungated name
+	}
+	regs := findHeapRegressions(baseline, fresh, 30)
+	if len(regs) != 1 || regs[0].Name != "BenchmarkFleet10k" {
+		t.Fatalf("heap regressions = %+v, want only BenchmarkFleet10k", regs)
+	}
+	if regs[0].Pct < 49.9 || regs[0].Pct > 50.1 {
+		t.Errorf("Pct = %v, want ~50", regs[0].Pct)
+	}
+}
+
 func TestJSONRoundTrip(t *testing.T) {
 	results := map[string]Result{
 		"BenchmarkA": {NsPerOp: 396.1, BytesPerOp: 133, AllocsPerOp: 2, Iterations: 3022214},
-		"BenchmarkB": {NsPerOp: 4.39038629e+08, Iterations: 3},
+		"BenchmarkB": {NsPerOp: 4.39038629e+08, HeapBytes: 21216496, Iterations: 3},
 	}
 	path := filepath.Join(t.TempDir(), "bench.json")
 	if err := writeJSON(path, results); err != nil {

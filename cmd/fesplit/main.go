@@ -6,6 +6,7 @@
 //	fesplit report       [-seed N] [-scale light|full] [-fig all|3..9|caching] [-csv DIR] [-html FILE]
 //	fesplit study        [-seed N] [-scale light|full] [-workers N] [-node-batches K] [-dir DIR]
 //	             [-progress] [-progress-interval D] [-listen ADDR] [-stream] [-linger D]
+//	             [-diurnal -clients N [-horizon D] [-fleet-batches K]]
 //	fesplit sweep        [-seed N] [-miles M] [-loss P] [-repeats K]
 //	fesplit direct       [-seed N] [-service google|bing] [-nodes N]
 //	fesplit trace        [-seed N] [-rtt MS] [-o FILE]
@@ -86,7 +87,9 @@ commands:
                figures, metrics, spans and reports into one directory;
                outputs are byte-identical for any -workers value and with
                telemetry (-progress, -listen, runtime.jsonl) on or off;
-               -stream bounds memory by folding records into accumulators
+               -stream bounds memory by folding records into accumulators;
+               -diurnal -clients N runs the ephemeral-client fleet campaign
+               (open-loop diurnal arrivals, heap tracks peak concurrency)
   sweep        FE-placement ablation: the placement / fetch-time trade-off
   direct       no-FE baseline: clients straight to the data center
   trace        capture one query session and print its packet timeline

@@ -36,11 +36,26 @@ func cmdStudy(args []string) error {
 		"stream default-FE campaign records through mergeable accumulators instead of retaining datasets (bounded memory; identical figures)")
 	linger := fs.Duration("linger", 0,
 		"keep the -listen endpoint up this long after the study finishes (for scraping a completed run)")
+	diurnal := fs.Bool("diurnal", false,
+		"run the ephemeral-client fleet campaign (requires -clients) instead of the figure study; writes fleet.csv")
+	clients := fs.Int("clients", 0,
+		"fleet campaign arrival count for -diurnal (clients exist only for their one query; memory tracks peak concurrency)")
+	horizon := fs.Duration("horizon", 10*time.Minute,
+		"virtual-time span of the -diurnal rate curve (the compressed day)")
+	fleetBatches := fs.Int("fleet-batches", 0,
+		"strided arrival batches for -diurnal (0 → default; changes results, unlike -workers)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *workers < 1 {
 		return fmt.Errorf("study: -workers must be ≥ 1, got %d", *workers)
+	}
+	if *diurnal {
+		return runFleetStudy(*seed, *clients, *horizon, *fleetBatches, *workers, *dir,
+			*progress, *progressInterval, *listen)
+	}
+	if *clients > 0 {
+		return fmt.Errorf("study: -clients requires -diurnal")
 	}
 	var cfg fesplit.StudyConfig
 	switch *scale {
@@ -144,5 +159,78 @@ func cmdStudy(args []string) error {
 		fmt.Fprintf(os.Stderr, "study: holding telemetry endpoint for %s\n", *linger)
 		time.Sleep(*linger)
 	}
+	return nil
+}
+
+// runFleetStudy is the -diurnal branch of `fesplit study`: the
+// ephemeral-client fleet campaign over the sharded runner, exporting
+// fleet.csv plus the standard runtime telemetry. The headline property
+// the scale-smoke gate pins: the heap watermark tracks peak concurrency
+// (the diurnal curve), not the client count.
+func runFleetStudy(seed int64, clients int, horizon time.Duration, batches, workers int,
+	dir string, progress bool, progressInterval time.Duration, listen string) error {
+	if clients <= 0 {
+		return fmt.Errorf("study: -diurnal requires -clients > 0, got %d", clients)
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	cfg := fesplit.LightStudyConfig(seed)
+	cfg.Workers = workers
+	study := fesplit.NewStudy(cfg)
+	eng := fesplit.NewRuntimeEngine()
+	study.SetRuntime(eng)
+	var consumers []fesplit.RuntimeConsumer
+	if progress {
+		consumers = append(consumers, fesplit.RuntimeHeartbeat(os.Stderr))
+	}
+	rj, err := os.Create(filepath.Join(dir, "runtime.jsonl"))
+	if err != nil {
+		return err
+	}
+	defer rj.Close()
+	consumers = append(consumers, fesplit.RuntimeJSONL(rj))
+	var server *fesplit.RuntimeServer
+	if listen != "" {
+		server, err = fesplit.NewRuntimeServer(eng, listen)
+		if err != nil {
+			return fmt.Errorf("study: -listen %s: %w", listen, err)
+		}
+		defer server.Close()
+		fmt.Fprintf(os.Stderr, "study: telemetry listening on http://%s\n", server.Addr())
+		consumers = append(consumers, server.OnSample)
+	}
+	sampler := fesplit.NewRuntimeSampler(eng, progressInterval, consumers...)
+	sampler.Start()
+	res, err := study.RunFleetStudy(fesplit.FleetStudyConfig{
+		Clients: clients,
+		Horizon: horizon,
+		Batches: batches,
+		Workers: workers,
+	})
+	sampler.Stop()
+	if err != nil {
+		return fmt.Errorf("study: fleet campaign: %w", err)
+	}
+	f, err := os.Create(filepath.Join(dir, "fleet.csv"))
+	if err != nil {
+		return err
+	}
+	if err := res.WriteFleetCSV(f); err != nil {
+		f.Close()
+		return fmt.Errorf("study: writing fleet.csv: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	m := res.Merged
+	fmt.Fprintf(os.Stderr,
+		"study: fleet seed %d — %d arrivals over %s, %d pooled slots (peak live %d), %d rejected, %d tail exemplars\n",
+		seed, m.Arrivals, horizon, m.Slots, m.PeakLive, m.Rejected, len(res.Exemplars))
+	fmt.Fprintf(os.Stderr,
+		"study: overall p50/p99 %.1f/%.1f ms — peak heap %.1f MiB for %d clients\n",
+		res.Overall.Quantile(0.5), res.Overall.Quantile(0.99),
+		float64(res.HeapWatermark)/(1<<20), clients)
+	fmt.Fprintf(os.Stderr, "study: fleet.csv written to %s\n", dir)
 	return nil
 }

@@ -1,0 +1,224 @@
+package fesplit
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"fesplit/internal/analysis"
+	"fesplit/internal/emulator"
+	"fesplit/internal/obs"
+	"fesplit/internal/stats"
+)
+
+// FleetStudyConfig scales the ephemeral-client fleet campaign: an
+// open-loop diurnal arrival process over the Google-like deployment
+// where clients exist only for the lifetime of their one query. Unlike
+// StudyConfig.Nodes, Clients is a number of *arrivals*, not a
+// materialized population — memory tracks peak concurrency, so a
+// million-client multi-hour campaign runs in a flat heap.
+type FleetStudyConfig struct {
+	// Clients is the total arrival count across all batches.
+	Clients int
+	// Horizon is the diurnal curve's span of virtual time (the
+	// compressed "day"). Default 10 minutes.
+	Horizon time.Duration
+	// PeakRate is the mid-day fleet-wide arrival rate (arrivals/sec).
+	// 0 derives the rate whose diurnal integral over Horizon yields
+	// Clients arrivals.
+	PeakRate float64
+	// Batches splits arrivals into strided independent worlds
+	// (≤ 0 → emulator.DefaultNodeBatches). Part of the shard layout:
+	// changing it changes the (still deterministic) results.
+	Batches int
+	// Workers caps the goroutines running batches (0 → NumCPU).
+	Workers int
+	// Tail configures per-batch tail exemplar sampling. The fleet path
+	// always bounds the candidate pool: MaxCandidates ≤ 0 is clamped to
+	// 4 × MaxExemplars, keeping sampler memory O(K) over any campaign
+	// length.
+	Tail obs.TailConfig
+}
+
+func (c FleetStudyConfig) withDefaults() FleetStudyConfig {
+	if c.Horizon <= 0 {
+		c.Horizon = 10 * time.Minute
+	}
+	if c.PeakRate <= 0 && c.Clients > 0 {
+		// DefaultDiurnalCurve integrates to 0.5375 × peak × horizon
+		// (trapezoids over the 0.15/0.5/1/0.5/0.15 shape): invert it,
+		// padded 2% so rounding never leaves the integral short — the
+		// Clients cap truncates the excess exactly.
+		c.PeakRate = 1.02 * float64(c.Clients) / (0.5375 * c.Horizon.Seconds())
+	}
+	if c.Tail.MaxCandidates <= 0 {
+		max := c.Tail.MaxExemplars
+		if max <= 0 {
+			max = 64 // obs.TailConfig's MaxExemplars default
+		}
+		c.Tail.MaxCandidates = 4 * max
+	}
+	return c
+}
+
+// Curve returns the campaign's diurnal rate curve.
+func (c FleetStudyConfig) Curve() emulator.DiurnalCurve {
+	return emulator.DefaultDiurnalCurve(c.Horizon, c.PeakRate)
+}
+
+// FleetStudyResult is the folded outcome of a fleet campaign: campaign
+// counters, streaming delay distributions, tail exemplars and the heap
+// watermark — everything the study keeps from N clients is O(batches +
+// exemplars), independent of N.
+type FleetStudyResult struct {
+	// Merged sums the per-batch campaign summaries.
+	Merged emulator.FleetResult
+	// Batches holds the per-batch summaries in batch order.
+	Batches []*emulator.FleetResult
+	// Overall and Dynamic are streaming sketches (milliseconds) of the
+	// user-perceived delay and the extracted Tdynamic, merged in batch
+	// order.
+	Overall *stats.Sketch
+	Dynamic *stats.Sketch
+	// Extracted counts sessions that parsed into split-TCP parameters;
+	// Violations counts inference-bound violations among them.
+	Extracted  int
+	Violations int
+	// Exemplars is the merged tail selection (cloned spans — they
+	// survived the campaign arenas).
+	Exemplars []obs.Exemplar
+	// HeapWatermark is the engine's peak live heap over the campaign
+	// (0 when the study has no runtime attached).
+	HeapWatermark uint64
+}
+
+// fleetStudySink folds one batch's records into mergeable accumulators
+// at emission time. Everything it keeps is O(1) per batch: two
+// quantile sketches, counters, and a bounded tail sampler that clones
+// only retained spans (the record — events, span, body — is arena- and
+// slab-owned and recycled right after Consume returns).
+type fleetStudySink struct {
+	boundary int
+	tol      time.Duration
+	ts       *obs.TailSampler
+	overall  *stats.Sketch
+	dynamic  *stats.Sketch
+	extracted  int
+	violations int
+}
+
+func newFleetStudySink(boundary int, tail obs.TailConfig) *fleetStudySink {
+	return &fleetStudySink{
+		boundary: boundary,
+		tol:      DefaultBoundTolerance,
+		ts:       obs.NewTailSampler(tail),
+		overall:  stats.NewSketch(0),
+		dynamic:  stats.NewSketch(0),
+	}
+}
+
+// Consume implements emulator.RecordSink.
+func (k *fleetStudySink) Consume(rec *emulator.Record) {
+	k.overall.Add(float64(rec.OverallDelay()) / float64(time.Millisecond))
+	if rec.Failed || len(rec.Events) == 0 {
+		return
+	}
+	p, err := analysis.ExtractRecord(*rec, k.boundary)
+	if err != nil {
+		return
+	}
+	k.extracted++
+	k.dynamic.Add(float64(p.Tdynamic) / float64(time.Millisecond))
+	if analysis.SampleTailTransient(k.ts, rec, p, k.tol) {
+		k.violations++
+	}
+}
+
+// RunFleetStudy runs the ephemeral-client fleet campaign on the
+// Google-like service: a boundary probe first (streaming folds measure
+// records as they are dropped), then the sharded diurnal campaign with
+// one streaming sink per batch, merged in batch order. For a fixed
+// seed every output is identical whatever Workers is.
+func (s *Study) RunFleetStudy(fc FleetStudyConfig) (*FleetStudyResult, error) {
+	fc = fc.withDefaults()
+	if fc.Clients <= 0 {
+		return nil, fmt.Errorf("fesplit: fleet study needs Clients > 0")
+	}
+	cfg := GoogleLike(s.cfg.Seed + 2)
+	boundary, err := s.boundaryFor(cfg)
+	if err != nil {
+		return nil, err
+	}
+	sinks := make([]*fleetStudySink, 0, 16)
+	results, _, _, err := emulator.RunFleet(emulator.FleetShardedOptions{
+		SimSeed:    s.cfg.Seed + 101,
+		Deployment: cfg,
+		Fleet: emulator.FleetOptions{
+			Clients:   fc.Clients,
+			Curve:     fc.Curve(),
+			QuerySeed: s.cfg.Seed + 102,
+			FleetSeed: s.cfg.Seed + 103,
+		},
+		Batches: fc.Batches,
+		Workers: fc.Workers,
+		Sink: func(batch int) emulator.RecordSink {
+			for len(sinks) <= batch {
+				sinks = append(sinks, nil)
+			}
+			sinks[batch] = newFleetStudySink(boundary, fc.Tail)
+			return sinks[batch]
+		},
+		Observe: func(batch int) *obs.Observer {
+			// The sink owns the tail sampler; the observer's job here is
+			// making the runner assemble spans and wire stack metrics.
+			return &obs.Observer{Reg: obs.NewRegistry(), Tail: obs.NewTailSampler(fc.Tail)}
+		},
+		Runtime: s.rt,
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := &FleetStudyResult{
+		Merged:  emulator.MergeFleetResults(results...),
+		Batches: results,
+		Overall: stats.NewSketch(0),
+		Dynamic: stats.NewSketch(0),
+	}
+	samplers := make([]*obs.TailSampler, 0, len(sinks))
+	for _, k := range sinks {
+		out.Overall.Merge(k.overall)
+		out.Dynamic.Merge(k.dynamic)
+		out.Extracted += k.extracted
+		out.Violations += k.violations
+		samplers = append(samplers, k.ts)
+	}
+	out.Exemplars = obs.MergeTailSamplers(samplers...).Select()
+	if s.rt != nil {
+		out.HeapWatermark = s.rt.HeapWatermark()
+	}
+	return out, nil
+}
+
+// WriteFleetCSV renders the campaign summary as a deterministic CSV:
+// one row per batch, then the merged totals with the streaming delay
+// quantiles. Byte-identical for a fixed seed and batch count whatever
+// the worker count.
+func (r *FleetStudyResult) WriteFleetCSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w,
+		"row,arrivals,completed,rejected,slots,peak_live,peak_fe_log,arena_cap,extracted,violations,p50_overall_ms,p90_overall_ms,p99_overall_ms,p50_dynamic_ms,p99_dynamic_ms"); err != nil {
+		return err
+	}
+	for i, b := range r.Batches {
+		if _, err := fmt.Fprintf(w, "batch%d,%d,%d,%d,%d,%d,%d,%d,,,,,,,\n",
+			i, b.Arrivals, b.Completed, b.Rejected, b.Slots, b.PeakLive, b.PeakFELog, b.ArenaCap); err != nil {
+			return err
+		}
+	}
+	m := r.Merged
+	_, err := fmt.Fprintf(w, "total,%d,%d,%d,%d,%d,%d,%d,%d,%d,%.3f,%.3f,%.3f,%.3f,%.3f\n",
+		m.Arrivals, m.Completed, m.Rejected, m.Slots, m.PeakLive, m.PeakFELog, m.ArenaCap,
+		r.Extracted, r.Violations,
+		r.Overall.Quantile(0.5), r.Overall.Quantile(0.9), r.Overall.Quantile(0.99),
+		r.Dynamic.Quantile(0.5), r.Dynamic.Quantile(0.99))
+	return err
+}

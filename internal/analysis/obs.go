@@ -117,6 +117,19 @@ func SampleTail(ts *obs.TailSampler, rr *emulator.Record, p Params, tol time.Dur
 	return violation
 }
 
+// SampleTailTransient is SampleTail for arena-backed spans: the span is
+// valid only for the duration of the call (fleet campaigns recycle span
+// nodes after every fold), so the sampler deep-copies it if — and only
+// if — the offer is retained (obs.TailSampler.OfferTransient). Selection
+// is identical to SampleTail; only span ownership differs.
+func SampleTailTransient(ts *obs.TailSampler, rr *emulator.Record, p Params, tol time.Duration) bool {
+	violation := violatesBounds(p, rr.TrueFetch, tol)
+	if ts != nil {
+		ts.OfferTransient(p.Tdynamic.Seconds(), violation, rr.Span)
+	}
+	return violation
+}
+
 // violatesBounds reports whether a ground-truth fetch time falsifies
 // the inference bound Tdelta ≤ Tfetch ≤ Tdynamic beyond the jitter
 // tolerance. A zero fetch time means no ground truth was joined; that

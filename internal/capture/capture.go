@@ -95,6 +95,13 @@ func (r *Recorder) Len() int { return len(r.trace.Events) }
 // Reset discards accumulated events (the node name is kept).
 func (r *Recorder) Reset() { r.trace.Events = nil }
 
+// ResetKeep discards accumulated events but keeps the backing storage.
+// Streaming fleet campaigns reset a pooled slot's recorder after every
+// folded session; reusing the slab means a slot's capture memory is
+// allocated once and amortized over thousands of ephemeral clients.
+// Any previously returned Trace must not be read afterwards.
+func (r *Recorder) ResetKeep() { r.trace.Events = r.trace.Events[:0] }
+
 // ConnKey identifies one TCP connection within a trace from the
 // capturing host's perspective.
 type ConnKey struct {
@@ -102,6 +109,11 @@ type ConnKey struct {
 	LocalPort  uint16
 	RemotePort uint16
 }
+
+// Key derives the connection key of an event — the per-completion
+// session filter for consumers that carve one connection out of a live
+// recorder without paying for a full Sessions split.
+func (e Event) Key() ConnKey { return e.key() }
 
 // key derives the connection key of an event. For outbound segments the
 // local port is the source port; for inbound it is the destination.

@@ -633,6 +633,13 @@ type OpenLoopOptions struct {
 	// the hotspot-keyword scenario: a complex query whose larger
 	// service time overloads the cluster at an unchanged arrival rate.
 	HotQuery workload.Query
+	// Curve, when non-nil, modulates each node's arrival rate by a
+	// piecewise-linear diurnal shape: the inter-arrival step at time t
+	// is BaseInterval divided by Curve.Rate(t) (here a dimensionless
+	// multiplier; 1.0 = BaseInterval pacing). Zero-rate stretches pause
+	// arrivals until the curve rises again. Composes multiplicatively
+	// with the surge window.
+	Curve *DiurnalCurve
 }
 
 // RunOpenLoop runs an open-loop arrival campaign and returns its
@@ -669,6 +676,23 @@ func (r *Runner) RunOpenLoop(opts OpenLoopOptions) *Dataset {
 			step := opts.BaseInterval
 			if surging && opts.SurgeFactor > 1 {
 				step = opts.BaseInterval / time.Duration(opts.SurgeFactor)
+			}
+			if opts.Curve != nil {
+				if rate := opts.Curve.Rate(at); rate > 0 {
+					step = time.Duration(float64(step) / rate)
+				} else {
+					// Zero-rate stretch: jump to the next anchor where
+					// the curve can rise again, not past the horizon.
+					next := opts.Horizon
+					for _, p := range opts.Curve.Points {
+						if p.At > at && p.At < next {
+							next = p.At
+							break
+						}
+					}
+					at = next
+					continue
+				}
 			}
 			at += step
 		}

@@ -1,0 +1,605 @@
+package emulator
+
+import (
+	"fmt"
+	"strconv"
+	"time"
+
+	"fesplit/internal/capture"
+	"fesplit/internal/cdn"
+	"fesplit/internal/frontend"
+	"fesplit/internal/geo"
+	"fesplit/internal/httpsim"
+	"fesplit/internal/obs"
+	rt "fesplit/internal/obs/runtime"
+	"fesplit/internal/shard"
+	"fesplit/internal/simnet"
+	"fesplit/internal/tcpsim"
+	"fesplit/internal/trace"
+	"fesplit/internal/vantage"
+	"fesplit/internal/workload"
+)
+
+// FleetOptions parameterize an ephemeral-client fleet campaign: an
+// open-loop arrival process over a diurnal rate curve, where every
+// arrival is a short-lived synthetic client that connects, runs one
+// query, is folded into the streaming sink, and vanishes. Unlike the
+// materialized vantage fleet (Options.Nodes), the client population
+// never exists in memory at once: arrivals run on a bounded pool of
+// recycled vantage slots, so a million-client campaign holds only
+// peak-concurrency state.
+type FleetOptions struct {
+	// Clients caps the total number of ephemeral client arrivals
+	// (0 = until the curve's horizon).
+	Clients int
+	// Curve is the fleet-wide arrival-rate curve (arrivals/second).
+	// The k-th arrival time is the curve's cumulative integral inverted
+	// at k — a pure function of the curve, identical across batch
+	// layouts.
+	Curve DiurnalCurve
+	// Queries is the corpus arrivals cycle through by global arrival
+	// index (generated granular corpus of QueriesPerNode when empty).
+	Queries        []workload.Query
+	QueriesPerNode int
+	QuerySeed      int64
+	// FleetSeed derives each slot's geography via vantage.SynthNode.
+	FleetSeed int64
+	// Access is the slots' last-mile profile (default campus).
+	Access vantage.AccessProfile
+	// ClientTCP overrides slot TCP configuration. RecycleConns is
+	// forced on: slot endpoints churn one connection per arrival, the
+	// free-list's exact use case (proven transcript-identical by the
+	// tcpsim recycle differential suite).
+	ClientTCP tcpsim.Config
+	// Obs, when non-nil, wires metrics and (if it carries a tracer)
+	// per-query span assembly. Fleet spans are arena-allocated and
+	// valid only during Sink.Consume — sinks keep a span by cloning it
+	// (obs.TailSampler.OfferTransient does this on retention).
+	Obs *obs.Observer
+	// Runtime receives fleet gauges (arrivals, live, slots, pooled)
+	// and heap-watermark samples.
+	Runtime *rt.Engine
+	// Sink consumes every folded record; required. The fleet path is
+	// streaming-only — there is no Dataset to accumulate.
+	Sink RecordSink
+	// PruneEvery is the fold cadence of FE fetch-log pruning
+	// (default 64 completions).
+	PruneEvery int
+
+	// arrival/slot striding for sharded campaigns (RunFleet): this
+	// runner owns global arrival indices k with k % stride == offset,
+	// and derives slot geography indices in the same residue class so
+	// hosts stay unique across batch worlds.
+	stride, offset int
+}
+
+func (o FleetOptions) withDefaults() FleetOptions {
+	if o.Access == (vantage.AccessProfile{}) {
+		o.Access = vantage.CampusProfile()
+	}
+	if o.PruneEvery <= 0 {
+		o.PruneEvery = 64
+	}
+	if o.stride <= 0 {
+		o.stride = 1
+	}
+	return o
+}
+
+// FleetResult summarizes one fleet-campaign world.
+type FleetResult struct {
+	// Arrivals issued and completions folded (equal once the simulator
+	// drains — open-loop arrivals always complete, possibly as 503s).
+	Arrivals  int
+	Completed int
+	// Rejected counts completions with a 503 status (FE admission or
+	// BE-cluster overload surfaced to the client).
+	Rejected int
+	// Slots is how many pooled slot objects the campaign ever created —
+	// the peak-concurrency witness that bounds the memory claim.
+	Slots int
+	// PeakLive is the largest number of arrivals simultaneously in
+	// flight.
+	PeakLive int
+	// PeakFELog is the largest live FE fetch-log length observed at
+	// prune time — with pruning it tracks in-flight count, not total
+	// arrivals.
+	PeakFELog int
+	// ArenaCap is the span arena's final node capacity (0 when span
+	// assembly is off).
+	ArenaCap int
+}
+
+// fleetSlot is one pooled vantage host: fixed deterministic geography
+// (wired once, so the topology version — and with it the TCP fast lane
+// — stays stable after pool ramp-up), a recycling TCP endpoint, a
+// reusable packet recorder, and a reusable Record. Successive arrivals
+// on one slot are distinct ephemeral clients observing from the same
+// locale.
+type fleetSlot struct {
+	node   vantage.Node
+	fe     *frontend.Server
+	ep     *tcpsim.Endpoint
+	rec    *capture.Recorder
+	record Record
+	outIdx int
+}
+
+// outQueue tracks outstanding arrivals in issue order (arrival times
+// are monotone), yielding the oldest uncompleted arrival time — the
+// FE-log prune cutoff. Completed heads are popped lazily; the slice
+// compacts in place so memory tracks the in-flight window.
+type outQueue struct {
+	entries []outEntry
+	base    int
+	head    int
+}
+
+type outEntry struct {
+	at   time.Duration
+	done bool
+}
+
+func (q *outQueue) push(at time.Duration) int {
+	q.entries = append(q.entries, outEntry{at: at})
+	return q.base + len(q.entries) - 1
+}
+
+func (q *outQueue) markDone(abs int) { q.entries[abs-q.base].done = true }
+
+// min pops completed heads and returns the oldest outstanding arrival
+// time (false when nothing is outstanding).
+func (q *outQueue) min() (time.Duration, bool) {
+	for q.head < len(q.entries) && q.entries[q.head].done {
+		q.head++
+	}
+	if q.head > 1024 && q.head*2 > len(q.entries) {
+		n := copy(q.entries, q.entries[q.head:])
+		q.entries = q.entries[:n]
+		q.base += q.head
+		q.head = 0
+	}
+	if q.head < len(q.entries) {
+		return q.entries[q.head].at, true
+	}
+	return 0, false
+}
+
+// FleetRunner owns one fleet-campaign world.
+type FleetRunner struct {
+	Sim *simnet.Sim
+	Net *simnet.Network
+	Dep *cdn.Deployment
+
+	opts    FleetOptions
+	queries []workload.Query
+	metros  []geo.Site
+	stack   *tcpsim.StackMetrics
+	obsv    *obs.Observer
+	simMet  *simnet.Metrics
+	rt      *rt.Engine
+	links   map[simnet.HostID]beLink
+
+	slots    []*fleetSlot
+	free     []*fleetSlot
+	freeHead int
+
+	arena     *obs.SpanArena
+	evScratch []capture.Event
+	out       outQueue
+
+	res  FleetResult
+	live int
+}
+
+// NewFleetRunner builds a fleet-campaign world: simulator, network and
+// deployment, but no materialized client fleet — slots are synthesized
+// on concurrency demand during Run.
+func NewFleetRunner(simSeed int64, depCfg cdn.Config, opts FleetOptions) (*FleetRunner, error) {
+	opts = opts.withDefaults()
+	if err := opts.Curve.Validate(); err != nil {
+		return nil, err
+	}
+	if opts.Sink == nil {
+		return nil, fmt.Errorf("emulator: fleet campaign requires a record sink")
+	}
+	sim := simnet.New(simSeed)
+	net := simnet.NewNetwork(sim)
+	dep, err := cdn.Build(net, depCfg)
+	if err != nil {
+		return nil, err
+	}
+	queries := opts.Queries
+	if len(queries) == 0 {
+		n := opts.QueriesPerNode
+		if n <= 0 {
+			n = 20
+		}
+		gen := workload.NewGenerator(opts.QuerySeed + 77)
+		queries = gen.Corpus(n, workload.ClassGranular)
+	}
+	r := &FleetRunner{
+		Sim:     sim,
+		Net:     net,
+		Dep:     dep,
+		opts:    opts,
+		queries: queries,
+		metros:  geo.WorldMetros(),
+		rt:      opts.Runtime,
+		links:   make(map[simnet.HostID]beLink, len(dep.FEs)),
+	}
+	r.opts.ClientTCP.RecycleConns = true
+	if opts.Runtime != nil {
+		sim.SetRuntime(opts.Runtime)
+		net.SetRuntime(opts.Runtime)
+	}
+	if opts.Obs != nil {
+		r.obsv = opts.Obs
+		reg := opts.Obs.Registry()
+		r.simMet = simnet.NewMetrics(reg)
+		sim.SetMetrics(r.simMet)
+		r.stack = tcpsim.NewStackMetrics(reg)
+		for _, fe := range dep.FEs {
+			fe.Endpoint().Metrics = r.stack
+			fe.StartObserving(opts.Obs)
+		}
+		for _, dc := range dep.BEs {
+			dc.Endpoint().Metrics = r.stack
+			dc.StartObserving(opts.Obs)
+		}
+		if opts.Obs.WantSpans() {
+			r.arena = obs.NewSpanArena()
+		}
+	}
+	for _, fe := range dep.FEs {
+		if be := dep.BEOf(fe); be != nil {
+			r.links[fe.Host()] = beLink{be: be.Host(), rtt: net.RTT(fe.Host(), be.Host())}
+		}
+	}
+	return r, nil
+}
+
+// claim pops the oldest-released free slot (FIFO, so successive
+// arrivals cycle through the pool's geographies) or synthesizes a new
+// one when every slot is busy.
+func (r *FleetRunner) claim() *fleetSlot {
+	if r.freeHead < len(r.free) {
+		s := r.free[r.freeHead]
+		r.free[r.freeHead] = nil
+		r.freeHead++
+		if r.freeHead > 64 && r.freeHead*2 > len(r.free) {
+			n := copy(r.free, r.free[r.freeHead:])
+			r.free = r.free[:n]
+			r.freeHead = 0
+		}
+		r.rt.AddFleetPooled(-1)
+		return s
+	}
+	idx := r.opts.offset + len(r.slots)*r.opts.stride
+	n := vantage.SynthNode(r.opts.FleetSeed, idx, r.metros, r.opts.Access)
+	ep := tcpsim.NewEndpoint(r.Net, n.Host, r.opts.ClientTCP)
+	ep.Metrics = r.stack
+	rec := capture.NewRecorder(string(n.Host))
+	// Fleet captures are timeline-only: snap payload bytes so a slot's
+	// recorder slab stays proportional to segment count.
+	rec.SnapPayload = true
+	ep.Tap = rec.Tap
+	r.Dep.WireClient(n.Host, n.Point, n.OneWay, n.Access.Jitter, n.Access.Loss)
+	s := &fleetSlot{node: n, fe: r.Dep.DefaultFE(n.Point), ep: ep, rec: rec}
+	r.slots = append(r.slots, s)
+	r.res.Slots = len(r.slots)
+	r.rt.NoteFleetSlot()
+	return s
+}
+
+// release returns a slot to the free pool.
+func (r *FleetRunner) release(s *fleetSlot) {
+	r.free = append(r.free, s)
+	r.rt.AddFleetPooled(1)
+}
+
+// Run drives the campaign to completion: the arrival generator walks
+// the curve inside the simulation (one pending driver event at a time,
+// so the scheduler never holds the whole arrival sequence), every
+// completion folds into the sink, and the world drains. Returns the
+// campaign summary.
+func (r *FleetRunner) Run() *FleetResult {
+	gen := newArrivals(r.opts.Curve)
+	k := 0
+	var schedule func()
+	schedule = func() {
+		for {
+			if r.opts.Clients > 0 && k >= r.opts.Clients {
+				return
+			}
+			at, ok := gen.next()
+			if !ok {
+				return
+			}
+			idx := k
+			k++
+			if idx%r.opts.stride != r.opts.offset {
+				continue
+			}
+			r.Sim.ScheduleAt(at, func() {
+				r.issue(idx)
+				schedule()
+			})
+			return
+		}
+	}
+	schedule()
+	r.Sim.Run()
+	// Final prune pass and watermark sample close out the world.
+	r.prune()
+	r.rt.SampleMem()
+	if r.arena != nil {
+		r.res.ArenaCap = r.arena.Cap()
+	}
+	return &r.res
+}
+
+// issue runs one ephemeral client: claim a slot, dial its default FE,
+// fold on completion.
+func (r *FleetRunner) issue(idx int) {
+	s := r.claim()
+	now := r.Sim.Now()
+	q := r.queries[idx%len(r.queries)]
+	s.rec.ResetKeep()
+	rr := &s.record
+	*rr = Record{
+		Node:     s.node.Host,
+		FE:       s.fe.Host(),
+		Query:    q,
+		IssuedAt: now,
+		Failed:   true, // cleared on completion
+	}
+	s.outIdx = r.out.push(now)
+	r.res.Arrivals++
+	r.live++
+	if r.live > r.res.PeakLive {
+		r.res.PeakLive = r.live
+	}
+	r.rt.NoteFleetArrival()
+	req := httpsim.NewGet(r.Dep.Name, q.Path())
+	conn := httpsim.Get(s.ep, s.fe.Host(), frontend.FEPort, req, httpsim.ResponseCallbacks{
+		OnDone: func(resp *httpsim.Response) { r.fold(s, resp) },
+	})
+	rr.Key = capture.ConnKey{
+		Remote:     string(s.fe.Host()),
+		LocalPort:  conn.LocalPort(),
+		RemotePort: frontend.FEPort,
+	}
+}
+
+// fold finalizes one completed arrival: carve the session's events out
+// of the slot recorder, join the FE's ground truth, assemble the span
+// (arena-allocated), hand the record to the sink, then recycle
+// everything — recorder slab, span nodes, Record struct, slot.
+func (r *FleetRunner) fold(s *fleetSlot, resp *httpsim.Response) {
+	rr := &s.record
+	rr.Failed = false
+	rr.DoneAt = r.Sim.Now()
+	rr.Status = resp.Status
+	rr.BodyLen = len(resp.Body)
+	if resp.Status == 503 {
+		r.res.Rejected++
+	}
+
+	// The recorder holds this session (reset at issue); strays from the
+	// previous tenant's close handshake are filtered out by key.
+	r.evScratch = r.evScratch[:0]
+	for _, ev := range s.rec.Trace().Events {
+		if ev.Key() == rr.Key {
+			r.evScratch = append(r.evScratch, ev)
+		}
+	}
+	rr.Events = r.evScratch
+
+	if fr, ok := findFetch(s.fe, string(s.node.Host), rr.Key.LocalPort, rr.IssuedAt, rr.DoneAt); ok {
+		rr.TrueFetch = fr.FetchDone - fr.Arrived
+		if r.arena != nil {
+			rr.Span = r.assembleFleetSpan(rr, fr)
+		}
+	} else if r.arena != nil {
+		rr.Span = r.assembleFleetSpan(rr, frontend.FetchRecord{})
+	}
+
+	r.opts.Sink.Consume(rr)
+	r.rt.NoteRecord()
+	r.rt.NoteFleetDone()
+
+	if r.arena != nil {
+		r.arena.Reset()
+	}
+	rr.Events = nil
+	rr.Span = nil
+	s.rec.ResetKeep()
+	r.out.markDone(s.outIdx)
+	r.release(s)
+	r.live--
+	r.res.Completed++
+	if r.res.Completed%r.opts.PruneEvery == 0 {
+		r.prune()
+	}
+}
+
+// prune trims every FE's fetch log below the oldest outstanding
+// arrival — completed entries were already joined at fold time.
+func (r *FleetRunner) prune() {
+	cutoff, ok := r.out.min()
+	if !ok {
+		// Nothing outstanding: everything logged so far was folded.
+		cutoff = r.Sim.Now() + 1
+	}
+	for _, fe := range r.Dep.FEs {
+		if n := len(fe.FetchLog()); n > r.res.PeakFELog {
+			r.res.PeakFELog = n
+		}
+		fe.PruneFetchLog(cutoff)
+	}
+}
+
+// findFetch scans an FE's live fetch log backward for the record of
+// the (client, port) session whose GET arrived inside the query
+// window. The log is arrival-ordered and pruned to the in-flight
+// window, so the scan is short and stops at the first entry older than
+// the query.
+func findFetch(fe *frontend.Server, client string, port uint16, issued, done time.Duration) (frontend.FetchRecord, bool) {
+	log := fe.FetchLog()
+	for i := len(log) - 1; i >= 0; i-- {
+		fr := &log[i]
+		if fr.Arrived < issued {
+			break
+		}
+		if fr.Arrived <= done && fr.Client == client && fr.ClientPort == port {
+			return *fr, true
+		}
+	}
+	return frontend.FetchRecord{}, false
+}
+
+// assembleFleetSpan is assembleSpan's arena twin: same tree shape,
+// same attributes, but every node comes from the campaign arena and is
+// recycled after the sink call. fr is the joined FE ground truth (zero
+// value when the join failed).
+func (r *FleetRunner) assembleFleetSpan(rr *Record, fr frontend.FetchRecord) *obs.Span {
+	a := r.arena
+	root := a.NewSpan("query", "client", obs.ConnKey(rr.Key), rr.IssuedAt, rr.DoneAt)
+	root.SetAttr("node", string(rr.Node))
+	root.SetAttr("fe", string(rr.FE))
+	root.SetAttr("keywords", rr.Query.Keywords)
+	if s, err := trace.Parse(rr.Key, rr.Events); err == nil {
+		a.Child(root, "tcp-handshake", s.TB, s.TB+s.RTT)
+		a.Child(root, "get-request", s.T1, s.T3)
+		a.Child(root, "delivery", s.T3, s.TE)
+	}
+	link := r.links[rr.FE]
+	if fr.StaticAt > 0 {
+		c := a.Child(root, "fe-static-flush", fr.Arrived, fr.StaticAt)
+		c.Track = "frontend"
+	}
+	if fr.FetchDone > 0 {
+		c := a.Child(root, "fe-fetch", fr.Arrived, fr.FetchDone)
+		c.Track = "frontend"
+		if link.be != "" {
+			c.SetAttr("be", string(link.be))
+			c.SetAttr("be_rtt_ns", strconv.FormatInt(int64(link.rtt), 10))
+		}
+		if fr.QueueWait > 0 {
+			c.SetAttr("be_queue_ns", strconv.FormatInt(int64(fr.QueueWait), 10))
+		}
+	}
+	return root
+}
+
+// FleetShardedOptions parameterize RunFleet, the sharded fleet
+// campaign. Arrivals are strided across batches (global arrival k runs
+// in batch k mod Batches), so every batch world sees the full diurnal
+// shape at 1/Batches of the fleet rate. As with RunShardedA, batches
+// are independent worlds: changing Batches changes the (still fully
+// deterministic) cross-client load interactions.
+type FleetShardedOptions struct {
+	// SimSeed is the base simulator seed; batch b runs on
+	// shard.Mix(SimSeed, b).
+	SimSeed int64
+	// Deployment is the service under test, shared by every batch.
+	Deployment cdn.Config
+	// Fleet configures each batch's campaign. Its Sink/Obs fields are
+	// ignored — use the per-batch factories below.
+	Fleet FleetOptions
+	// Batches is the arrival-stride count (≤ 0 → DefaultNodeBatches).
+	Batches int
+	// Workers caps the goroutines running batches (0 → NumCPU).
+	Workers int
+	// Sink must return a fresh RecordSink private to the batch;
+	// required.
+	Sink func(batch int) RecordSink
+	// Observe, when non-nil, returns a fresh Observer private to the
+	// batch.
+	Observe func(batch int) *obs.Observer
+	// Runtime receives fleet gauges, task progress and heap watermark
+	// samples from all batches.
+	Runtime *rt.Engine
+}
+
+// RunFleet runs the ephemeral-client fleet campaign split into strided
+// arrival batches, each in its own world on its own worker goroutine.
+// Results, observers (nil unless Observe was set) and sinks come back
+// in batch order — the canonical merge order.
+func RunFleet(opts FleetShardedOptions) ([]*FleetResult, []*obs.Observer, []RecordSink, error) {
+	if opts.Sink == nil {
+		return nil, nil, nil, fmt.Errorf("emulator: sharded fleet campaign requires a sink factory")
+	}
+	k := opts.Batches
+	if k <= 0 {
+		k = DefaultNodeBatches
+	}
+	results := make([]*FleetResult, k)
+	obsvs := make([]*obs.Observer, k)
+	sinks := make([]RecordSink, k)
+	tasks := make([]shard.Task, k)
+	for b := 0; b < k; b++ {
+		b := b
+		tasks[b] = shard.Task{
+			Name: fmt.Sprintf("fleet[%d/%d]", b, k),
+			Run: func() error {
+				fopts := opts.Fleet
+				fopts.stride, fopts.offset = k, b
+				fopts.Runtime = opts.Runtime
+				sinks[b] = opts.Sink(b)
+				fopts.Sink = sinks[b]
+				fopts.Obs = nil
+				if opts.Observe != nil {
+					obsvs[b] = opts.Observe(b)
+					fopts.Obs = obsvs[b]
+				}
+				fr, err := NewFleetRunner(shard.Mix(opts.SimSeed, uint64(b)), opts.Deployment, fopts)
+				if err != nil {
+					return err
+				}
+				results[b] = fr.Run()
+				return nil
+			},
+		}
+	}
+	var p shard.Progress
+	if opts.Runtime != nil {
+		opts.Runtime.AddTasks(len(tasks))
+		p = opts.Runtime
+	}
+	if err := shard.RunProgress(opts.Workers, tasks, p); err != nil {
+		return nil, nil, nil, err
+	}
+	opts.Runtime.SampleMem()
+	if opts.Observe == nil {
+		obsvs = nil
+	}
+	return results, obsvs, sinks, nil
+}
+
+// MergeFleetResults sums per-batch campaign summaries (peaks take the
+// max of the batch peaks — batches run concurrently in independent
+// worlds, so the sum would overstate a single world's footprint).
+func MergeFleetResults(rs ...*FleetResult) FleetResult {
+	var out FleetResult
+	for _, r := range rs {
+		if r == nil {
+			continue
+		}
+		out.Arrivals += r.Arrivals
+		out.Completed += r.Completed
+		out.Rejected += r.Rejected
+		out.Slots += r.Slots
+		if r.PeakLive > out.PeakLive {
+			out.PeakLive = r.PeakLive
+		}
+		if r.PeakFELog > out.PeakFELog {
+			out.PeakFELog = r.PeakFELog
+		}
+		if r.ArenaCap > out.ArenaCap {
+			out.ArenaCap = r.ArenaCap
+		}
+	}
+	return out
+}

@@ -136,7 +136,13 @@ type Server struct {
 	// observability (StartObserving)
 	met        *feMetrics
 	logFetches bool
-	fetchLog   []FetchRecord
+	// fetchLog holds FetchRecords for requests not yet pruned;
+	// fetchBase is the absolute index of fetchLog[0], i.e. how many
+	// records PruneFetchLog has dropped. In-flight completions address
+	// their record by absolute index through logAt, so a late write to
+	// a pruned entry is discarded instead of corrupting a neighbour.
+	fetchLog  []FetchRecord
+	fetchBase int
 }
 
 type feJob struct {
@@ -447,7 +453,7 @@ func (fe *Server) handle(w *httpsim.ResponseWriter, r *httpsim.Request) {
 
 	logIdx := -1
 	if fe.logFetches {
-		logIdx = len(fe.fetchLog)
+		logIdx = fe.fetchBase + len(fe.fetchLog)
 		rec := FetchRecord{Arrived: arrived}
 		if c := w.Conn(); c != nil {
 			rec.Client = string(c.RemoteHost())
@@ -484,8 +490,8 @@ func (fe *Server) handle(w *httpsim.ResponseWriter, r *httpsim.Request) {
 		if m := fe.met; m != nil {
 			m.staticFlushes.Inc()
 		}
-		if logIdx >= 0 {
-			fe.fetchLog[logIdx].StaticAt = sim.Now()
+		if r := fe.logAt(logIdx); r != nil {
+			r.StaticAt = sim.Now()
 		}
 		if pendingDynamic != nil {
 			finish()
@@ -529,11 +535,11 @@ func (fe *Server) handle(w *httpsim.ResponseWriter, r *httpsim.Request) {
 						m.fetchSeconds.Observe((sim.Now() - arrived).Seconds())
 						m.fetchQuantiles.Observe((sim.Now() - arrived).Seconds())
 					}
-					if logIdx >= 0 {
-						fe.fetchLog[logIdx].FetchDone = sim.Now()
+					if rec := fe.logAt(logIdx); rec != nil {
+						rec.FetchDone = sim.Now()
 						if v := resp.Header[backend.QueueWaitHeader]; v != "" {
 							if ns, err := strconv.ParseInt(v, 10, 64); err == nil && ns > 0 {
-								fe.fetchLog[logIdx].QueueWait = time.Duration(ns)
+								rec.QueueWait = time.Duration(ns)
 							}
 						}
 					}

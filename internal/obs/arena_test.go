@@ -1,0 +1,184 @@
+package obs
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+	"time"
+)
+
+// arenaTree builds a representative query tree (root + attrs + nested
+// children) out of a, parameterized by i so trees are distinguishable.
+func arenaTree(a *SpanArena, i int) *Span {
+	base := time.Duration(i) * time.Second
+	root := a.NewSpan("query", "client", ConnKey{Remote: "fe", LocalPort: uint16(i), RemotePort: 80}, base, base+time.Millisecond)
+	root.SetAttr("idx", fmt.Sprint(i))
+	h := a.Child(root, "tcp-handshake", base, base+100*time.Microsecond)
+	h.SetAttr("rtt", "100us")
+	d := a.Child(root, "delivery", base+100*time.Microsecond, base+time.Millisecond)
+	a.Child(d, "fe-fetch", base+200*time.Microsecond, base+800*time.Microsecond)
+	return root
+}
+
+// heapTree is arenaTree built from plain heap allocations, the
+// reference shape Clone must reproduce.
+func heapTree(i int) *Span {
+	base := time.Duration(i) * time.Second
+	root := &Span{Name: "query", Track: "client", Key: ConnKey{Remote: "fe", LocalPort: uint16(i), RemotePort: 80}, Start: base, End: base + time.Millisecond}
+	root.SetAttr("idx", fmt.Sprint(i))
+	h := root.Child("tcp-handshake", base, base+100*time.Microsecond)
+	h.SetAttr("rtt", "100us")
+	d := root.Child("delivery", base+100*time.Microsecond, base+time.Millisecond)
+	d.Child("fe-fetch", base+200*time.Microsecond, base+800*time.Microsecond)
+	return root
+}
+
+func TestSpanArenaTreesMatchHeapTrees(t *testing.T) {
+	a := NewSpanArena()
+	for i := 0; i < 10; i++ {
+		got := arenaTree(a, i)
+		if !reflect.DeepEqual(got, heapTree(i)) {
+			t.Fatalf("arena tree %d differs from heap tree", i)
+		}
+	}
+}
+
+// TestSpanArenaResetReuses: after Reset the arena hands out the same
+// node capacity again instead of growing, and rebuilt trees are intact.
+func TestSpanArenaResetReuses(t *testing.T) {
+	a := NewSpanArena()
+	for i := 0; i < 100; i++ {
+		arenaTree(a, i)
+	}
+	capAfterWarmup := a.Cap()
+	for round := 0; round < 50; round++ {
+		a.Reset()
+		for i := 0; i < 100; i++ {
+			got := arenaTree(a, i)
+			if got.Name != "query" || len(got.Children) != 2 || len(got.Attrs) != 1 {
+				t.Fatalf("round %d tree %d corrupted after reset: %+v", round, i, got)
+			}
+		}
+		if a.Cap() != capAfterWarmup {
+			t.Fatalf("round %d: arena grew from %d to %d nodes despite identical load", round, capAfterWarmup, a.Cap())
+		}
+	}
+}
+
+// TestSpanCloneIndependent: a clone shares no memory with the original —
+// mutating (or arena-recycling) the source must not disturb the clone.
+func TestSpanCloneIndependent(t *testing.T) {
+	a := NewSpanArena()
+	src := arenaTree(a, 7)
+	clone := src.Clone()
+	if !reflect.DeepEqual(clone, heapTree(7)) {
+		t.Fatalf("clone differs from reference tree")
+	}
+	// Recycle the arena under different trees; the clone must survive.
+	a.Reset()
+	for i := 0; i < 50; i++ {
+		arenaTree(a, 1000+i)
+	}
+	if !reflect.DeepEqual(clone, heapTree(7)) {
+		t.Fatalf("clone corrupted by arena reuse")
+	}
+	if (*Span)(nil).Clone() != nil {
+		t.Fatalf("nil clone should be nil")
+	}
+}
+
+// offerStream drives the same pseudo-random stream of offers into ts.
+// transient selects OfferTransient with per-offer arena recycling —
+// exactly the fleet campaign's usage.
+func offerStream(ts *TailSampler, seed int64, n int, transient bool) {
+	rng := rand.New(rand.NewSource(seed))
+	a := NewSpanArena()
+	for i := 0; i < n; i++ {
+		v := rng.ExpFloat64() * 0.1
+		viol := rng.Intn(400) == 0
+		if transient {
+			a.Reset()
+			ts.OfferTransient(v, viol, arenaTree(a, i))
+		} else {
+			ts.Offer(v, viol, heapTree(i))
+		}
+	}
+}
+
+func sameSelection(t *testing.T, got, want []Exemplar, label string) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: selected %d exemplars, want %d", label, len(got), len(want))
+	}
+	for i := range got {
+		if got[i].Value != want[i].Value || got[i].Seq != want[i].Seq || got[i].Violation != want[i].Violation {
+			t.Fatalf("%s: exemplar %d = {v=%v seq=%d viol=%v}, want {v=%v seq=%d viol=%v}",
+				label, i, got[i].Value, got[i].Seq, got[i].Violation,
+				want[i].Value, want[i].Seq, want[i].Violation)
+		}
+		if !reflect.DeepEqual(got[i].Span, want[i].Span) {
+			t.Fatalf("%s: exemplar %d span tree differs", label, i)
+		}
+	}
+}
+
+// TestBoundedSamplerMatchesExact: with MaxCandidates ≥ MaxExemplars the
+// bounded sampler must make byte-identical selections to the unbounded
+// one, for both Offer and arena-backed OfferTransient, while retaining
+// a bounded candidate pool.
+func TestBoundedSamplerMatchesExact(t *testing.T) {
+	const n = 5000
+	for _, seed := range []int64{1, 2, 3} {
+		for _, maxC := range []int{0 /* clamped to MaxExemplars */, 16, 64, 500} {
+			cfg := TailConfig{Percentile: 0.99, MaxExemplars: 16}
+			exact := NewTailSampler(cfg)
+			offerStream(exact, seed, n, false)
+
+			cfg.MaxCandidates = maxC
+			if maxC == 0 {
+				cfg.MaxCandidates = 1 // exercises the clamp to MaxExemplars
+			}
+			bounded := NewTailSampler(cfg)
+			offerStream(bounded, seed, n, true)
+
+			if bounded.Offered() != exact.Offered() {
+				t.Fatalf("seed %d K=%d: offered %d vs %d", seed, maxC, bounded.Offered(), exact.Offered())
+			}
+			wantMax := bounded.Config().MaxCandidates
+			if got := len(bounded.cands); got > wantMax {
+				t.Fatalf("seed %d K=%d: candidate pool %d exceeds bound %d", seed, maxC, got, wantMax)
+			}
+			sameSelection(t, bounded.Select(), exact.Select(), fmt.Sprintf("seed %d K=%d", seed, maxC))
+		}
+	}
+}
+
+// TestBoundedSamplerMergeMatchesExact: bounded per-shard samplers must
+// merge to the same selection as exact per-shard samplers, which in
+// turn (pinned by merge_test.go) equals the serial run.
+func TestBoundedSamplerMergeMatchesExact(t *testing.T) {
+	const shards, perShard = 4, 1500
+	cfgExact := TailConfig{Percentile: 0.99, MaxExemplars: 12}
+	cfgBound := cfgExact
+	cfgBound.MaxCandidates = 24
+
+	var exacts, bounds []*TailSampler
+	for s := 0; s < shards; s++ {
+		e := NewTailSampler(cfgExact)
+		b := NewTailSampler(cfgBound)
+		offerStream(e, int64(100+s), perShard, false)
+		offerStream(b, int64(100+s), perShard, true)
+		exacts = append(exacts, e)
+		bounds = append(bounds, b)
+	}
+	me := MergeTailSamplers(exacts...)
+	mb := MergeTailSamplers(bounds...)
+	if mb.Offered() != me.Offered() {
+		t.Fatalf("merged offered %d vs %d", mb.Offered(), me.Offered())
+	}
+	if got, max := len(mb.cands), mb.Config().MaxCandidates; got > max {
+		t.Fatalf("merged candidate pool %d exceeds bound %d", got, max)
+	}
+	sameSelection(t, mb.Select(), me.Select(), "merged")
+}

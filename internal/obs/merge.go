@@ -84,14 +84,19 @@ func (r *Registry) Merge(src *Registry) error {
 // whose selection behaves as if every query had been offered to a
 // single sampler: the threshold sketch is the merge of the shard
 // sketches (so the percentile cut is fleet-wide, not per-shard), and
-// the candidate pool is the concatenation of the shard pools in
-// argument order with sequence numbers reassigned, so Select re-ranks
-// the union — a span that was shard-local tail but falls below the
-// fleet-wide threshold is dropped, exactly as it would have been in a
-// serial run. The argument order is the canonical shard order; callers
-// must pass shards in it. Configuration comes from the first non-nil
-// sampler; nil samplers are skipped. With no non-nil arguments the
-// result is an empty sampler with default config.
+// the candidate pool is the union of the shard pools in argument order
+// with sequence numbers rebased into disjoint per-shard ranges, so
+// Select re-ranks the union — a span that was shard-local tail but
+// falls below the fleet-wide threshold is dropped, exactly as it would
+// have been in a serial run. The argument order is the canonical shard
+// order; callers must pass shards in it. Configuration comes from the
+// first non-nil sampler; nil samplers are skipped. With no non-nil
+// arguments the result is an empty sampler with default config.
+//
+// Bounded shards (TailConfig.MaxCandidates > 0) merge exactly: each
+// shard's pool is its top-K by value with K ≥ MaxExemplars, a superset
+// of anything the merged Select can keep from that shard, and the
+// merged sampler re-applies the same bound while absorbing.
 func MergeTailSamplers(ss ...*TailSampler) *TailSampler {
 	var out *TailSampler
 	for _, s := range ss {
@@ -102,10 +107,16 @@ func MergeTailSamplers(ss ...*TailSampler) *TailSampler {
 			out = NewTailSampler(s.cfg)
 		}
 		out.sketch.Merge(s.sketch)
-		for _, c := range s.cands {
-			c.Seq = len(out.cands)
-			out.cands = append(out.cands, c)
+		base := out.offered
+		for _, c := range s.viols {
+			c.Seq += base
+			out.absorb(c)
 		}
+		for _, c := range s.cands {
+			c.Seq += base
+			out.absorb(c)
+		}
+		out.offered = base + s.offered
 	}
 	if out == nil {
 		out = NewTailSampler(TailConfig{})

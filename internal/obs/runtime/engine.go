@@ -85,6 +85,15 @@ type Engine struct {
 
 	records atomic.Uint64 // records folded through streaming sinks
 
+	// Fleet-campaign gauges (internal/emulator RunFleet): pooled slot
+	// objects created, ephemeral-client arrivals issued, arrivals in
+	// flight, and slots sitting in the free pools — summed over all
+	// batch worlds.
+	fleetSlots    atomic.Int64
+	fleetArrivals atomic.Uint64
+	fleetLive     atomic.Int64
+	fleetPooled   atomic.Int64
+
 	mu         sync.Mutex
 	tasksTotal int
 	tasksDone  int
@@ -156,6 +165,39 @@ func (e *Engine) NoteRecord() {
 	}
 	if e.records.Add(1)%memSampleEvery == 0 {
 		e.SampleMem()
+	}
+}
+
+// NoteFleetSlot counts one pooled vantage slot object created by a
+// fleet campaign (slots are created on concurrency demand and then
+// recycled, so this is also the campaign's peak-concurrency witness).
+func (e *Engine) NoteFleetSlot() {
+	if e != nil {
+		e.fleetSlots.Add(1)
+	}
+}
+
+// NoteFleetArrival counts one ephemeral-client arrival entering flight.
+func (e *Engine) NoteFleetArrival() {
+	if e == nil {
+		return
+	}
+	e.fleetArrivals.Add(1)
+	e.fleetLive.Add(1)
+}
+
+// NoteFleetDone marks one arrival's query completed and folded.
+func (e *Engine) NoteFleetDone() {
+	if e != nil {
+		e.fleetLive.Add(-1)
+	}
+}
+
+// AddFleetPooled adjusts the free-slot gauge (+1 on release, -1 on
+// claim of a pooled slot).
+func (e *Engine) AddFleetPooled(delta int64) {
+	if e != nil {
+		e.fleetPooled.Add(delta)
 	}
 }
 

@@ -144,4 +144,16 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	p("# HELP fesplit_runtime_records_streamed_total records folded through streaming sinks\n")
 	p("# TYPE fesplit_runtime_records_streamed_total counter\n")
 	p("fesplit_runtime_records_streamed_total %d\n", snap.Records)
+	p("# HELP fesplit_runtime_fleet_arrivals_total ephemeral-client arrivals issued by fleet campaigns\n")
+	p("# TYPE fesplit_runtime_fleet_arrivals_total counter\n")
+	p("fesplit_runtime_fleet_arrivals_total %d\n", snap.Fleet.Arrivals)
+	p("# HELP fesplit_runtime_fleet_live fleet-campaign arrivals currently in flight\n")
+	p("# TYPE fesplit_runtime_fleet_live gauge\n")
+	p("fesplit_runtime_fleet_live %d\n", snap.Fleet.Live)
+	p("# HELP fesplit_runtime_fleet_slots pooled vantage slot objects created\n")
+	p("# TYPE fesplit_runtime_fleet_slots gauge\n")
+	p("fesplit_runtime_fleet_slots %d\n", snap.Fleet.Slots)
+	p("# HELP fesplit_runtime_fleet_pooled vantage slots sitting in free pools\n")
+	p("# TYPE fesplit_runtime_fleet_pooled gauge\n")
+	p("fesplit_runtime_fleet_pooled %d\n", snap.Fleet.Pooled)
 }

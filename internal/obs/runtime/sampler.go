@@ -19,6 +19,17 @@ type FastpathSnap struct {
 	ByReason  map[string]uint64 `json:"fallbacks_by_reason"`
 }
 
+// FleetSnap is the fleet-campaign slice of a Snapshot: ephemeral-client
+// arrivals issued, arrivals currently in flight, slot objects created,
+// and slots sitting in the free pools. Live + pooled ≤ slots; the gap
+// is slots momentarily between release and re-claim bookkeeping.
+type FleetSnap struct {
+	Arrivals uint64 `json:"arrivals"`
+	Live     int64  `json:"live"`
+	Slots    int64  `json:"slots"`
+	Pooled   int64  `json:"pooled"`
+}
+
 // TaskSnap is the worker-pool slice of a Snapshot: how many pool tasks
 // have finished out of those discovered so far, and which ones the
 // workers are chewing on right now.
@@ -52,6 +63,7 @@ type Snapshot struct {
 
 	Fastpath FastpathSnap `json:"fastpath"`
 	Records  uint64       `json:"records_streamed"`
+	Fleet    FleetSnap    `json:"fleet"`
 	Tasks    TaskSnap     `json:"tasks"`
 }
 
@@ -90,7 +102,13 @@ func (e *Engine) Snapshot() Snapshot {
 			ByReason:  byReason,
 		},
 		Records: e.records.Load(),
-		Tasks:   TaskSnap{Done: done, Total: total, Running: running},
+		Fleet: FleetSnap{
+			Arrivals: e.fleetArrivals.Load(),
+			Live:     e.fleetLive.Load(),
+			Slots:    e.fleetSlots.Load(),
+			Pooled:   e.fleetPooled.Load(),
+		},
+		Tasks: TaskSnap{Done: done, Total: total, Running: running},
 	}
 }
 
@@ -194,6 +212,10 @@ func Heartbeat(w io.Writer) Consumer {
 		}
 		if s.Records > 0 {
 			fmt.Fprintf(&b, " | records %d", s.Records)
+		}
+		if s.Fleet.Arrivals > 0 {
+			fmt.Fprintf(&b, " | fleet %s arrivals (live %d, %d/%d slots pooled)",
+				siCount(float64(s.Fleet.Arrivals)), s.Fleet.Live, s.Fleet.Pooled, s.Fleet.Slots)
 		}
 		fmt.Fprintln(w, b.String())
 	}

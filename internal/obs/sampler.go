@@ -18,6 +18,17 @@ type TailConfig struct {
 	// Alpha is the relative accuracy of the internal threshold sketch
 	// (≤ 0 → stats.DefaultSketchAlpha).
 	Alpha float64
+	// MaxCandidates, when positive, bounds the non-violation candidate
+	// pool: the sampler keeps a streaming top-K by value (K clamped to
+	// at least MaxExemplars) instead of every offered span. Because the
+	// final selection never keeps more than MaxExemplars tail spans —
+	// always the largest values — retaining only the top K ≥
+	// MaxExemplars candidates provably yields the same Select() result
+	// as unbounded retention, per shard and after MergeTailSamplers.
+	// Violations remain unbounded: they are rare anomalies and the
+	// framework's raison d'être. 0 (default) retains every candidate,
+	// the exact legacy behaviour.
+	MaxCandidates int
 }
 
 func (c TailConfig) withDefaults() TailConfig {
@@ -26,6 +37,9 @@ func (c TailConfig) withDefaults() TailConfig {
 	}
 	if c.MaxExemplars <= 0 {
 		c.MaxExemplars = 64
+	}
+	if c.MaxCandidates > 0 && c.MaxCandidates < c.MaxExemplars {
+		c.MaxCandidates = c.MaxExemplars
 	}
 	return c
 }
@@ -57,9 +71,20 @@ type Exemplar struct {
 // whole run's distribution, so selection is two-phase by design. All
 // methods are nil-safe; a nil sampler retains nothing.
 type TailSampler struct {
-	cfg      TailConfig
-	sketch   *stats.Sketch
-	cands    []Exemplar
+	cfg    TailConfig
+	sketch *stats.Sketch
+	// cands holds non-violation candidates. Unbounded mode: plain
+	// append, in offer order. Bounded mode (cfg.MaxCandidates > 0):
+	// a min-heap with the *worst* exemplar at the root — smallest
+	// value, ties broken toward the larger Seq, mirroring Select's
+	// preference for earlier offers — so a better offer evicts the
+	// worst in O(log K).
+	cands []Exemplar
+	// viols holds bound-violating exemplars in bounded mode (never
+	// evicted, so they must not participate in the heap). Unbounded
+	// mode keeps violations in cands, preserving legacy layout.
+	viols    []Exemplar
+	offered  int
 	selected []Exemplar
 	done     bool
 }
@@ -80,25 +105,161 @@ func (t *TailSampler) Config() TailConfig {
 
 // Offer presents one completed query: its selection value (seconds),
 // whether it violated the inference bound, and its span tree. Nil
-// samplers and nil spans are ignored.
+// samplers and nil spans are ignored. The sampler retains the span
+// pointer as-is; the span must stay valid for the sampler's lifetime
+// (for arena-owned spans use OfferTransient).
 func (t *TailSampler) Offer(value float64, violation bool, span *Span) {
 	if t == nil || span == nil {
 		return
 	}
+	t.offer(value, violation, span, false)
+}
+
+// OfferTransient presents a query whose span tree is owned by a
+// SpanArena and about to be recycled. The sampler first decides whether
+// the exemplar would be retained at all — in bounded mode most are not —
+// and deep-copies the tree via Span.Clone only on retention, so the
+// caller may Reset the arena as soon as OfferTransient returns.
+func (t *TailSampler) OfferTransient(value float64, violation bool, span *Span) {
+	if t == nil || span == nil {
+		return
+	}
+	t.offer(value, violation, span, true)
+}
+
+func (t *TailSampler) offer(value float64, violation bool, span *Span, transient bool) {
 	t.done = false
 	t.selected = nil
 	t.sketch.Add(value)
-	t.cands = append(t.cands, Exemplar{
-		Value: value, Violation: violation, Span: span, Seq: len(t.cands),
-	})
+	ex := Exemplar{Value: value, Violation: violation, Span: span, Seq: t.offered}
+	t.offered++
+	k := t.cfg.MaxCandidates
+	if violation {
+		if transient {
+			ex.Span = span.Clone()
+		}
+		if k > 0 {
+			t.viols = append(t.viols, ex)
+		} else {
+			t.cands = append(t.cands, ex)
+		}
+		return
+	}
+	if k <= 0 {
+		if transient {
+			ex.Span = span.Clone()
+		}
+		t.cands = append(t.cands, ex)
+		return
+	}
+	if len(t.cands) < k {
+		if transient {
+			ex.Span = span.Clone()
+		}
+		t.cands = append(t.cands, ex)
+		t.siftUp(len(t.cands) - 1)
+		return
+	}
+	// Pool full: keep ex only if it beats the current worst. The
+	// rejected span is never cloned — this is where bounded mode saves
+	// both the copy and the retention.
+	if !worseExemplar(t.cands[0], ex) {
+		return
+	}
+	if transient {
+		ex.Span = span.Clone()
+	}
+	t.cands[0] = ex
+	t.siftDown(0)
 }
 
-// Offered returns how many candidates have been offered.
+// absorb inserts an already-owned exemplar during MergeTailSamplers:
+// no sketch add (shard sketches merge wholesale), no clone, no offered
+// bump (the merger rebases counts per shard), but the same bounded-pool
+// discipline as offer.
+func (t *TailSampler) absorb(ex Exemplar) {
+	t.done = false
+	t.selected = nil
+	k := t.cfg.MaxCandidates
+	if ex.Violation {
+		if k > 0 {
+			t.viols = append(t.viols, ex)
+		} else {
+			t.cands = append(t.cands, ex)
+		}
+		return
+	}
+	if k <= 0 {
+		t.cands = append(t.cands, ex)
+		return
+	}
+	if len(t.cands) < k {
+		t.cands = append(t.cands, ex)
+		t.siftUp(len(t.cands) - 1)
+		return
+	}
+	if !worseExemplar(t.cands[0], ex) {
+		return
+	}
+	t.cands[0] = ex
+	t.siftDown(0)
+}
+
+// worseExemplar reports whether a ranks strictly worse than b for tail
+// retention: smaller value loses; on equal values the later offer
+// loses, matching Select's smaller-Seq tie-break.
+func worseExemplar(a, b Exemplar) bool {
+	if a.Value != b.Value {
+		return a.Value < b.Value
+	}
+	return a.Seq > b.Seq
+}
+
+func (t *TailSampler) siftUp(i int) {
+	for i > 0 {
+		p := (i - 1) / 2
+		if !worseExemplar(t.cands[i], t.cands[p]) {
+			return
+		}
+		t.cands[i], t.cands[p] = t.cands[p], t.cands[i]
+		i = p
+	}
+}
+
+func (t *TailSampler) siftDown(i int) {
+	n := len(t.cands)
+	for {
+		worst := i
+		if l := 2*i + 1; l < n && worseExemplar(t.cands[l], t.cands[worst]) {
+			worst = l
+		}
+		if r := 2*i + 2; r < n && worseExemplar(t.cands[r], t.cands[worst]) {
+			worst = r
+		}
+		if worst == i {
+			return
+		}
+		t.cands[i], t.cands[worst] = t.cands[worst], t.cands[i]
+		i = worst
+	}
+}
+
+// Offered returns how many candidates have been offered (including
+// those a bounded sampler has since evicted).
 func (t *TailSampler) Offered() int {
 	if t == nil {
 		return 0
 	}
-	return len(t.cands)
+	return t.offered
+}
+
+// Retained returns how many exemplars are currently held — the bounded
+// footprint a fleet campaign reports (testing/telemetry aid).
+func (t *TailSampler) Retained() int {
+	if t == nil {
+		return 0
+	}
+	return len(t.cands) + len(t.viols)
 }
 
 // Threshold returns the current selection threshold: the configured
@@ -124,6 +285,7 @@ func (t *TailSampler) Select() []Exemplar {
 	}
 	thr := t.Threshold()
 	var tail, kept []Exemplar
+	kept = append(kept, t.viols...)
 	for _, c := range t.cands {
 		switch {
 		case c.Violation:

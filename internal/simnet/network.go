@@ -158,6 +158,35 @@ func (n *Network) SetLink(a, b HostID, p PathParams) {
 	n.SetPath(b, a, p)
 }
 
+// DropHostPaths removes every configured path touching host, in both
+// directions, and returns how many were dropped. It is the reclamation
+// half of ephemeral-host lifecycles: a vantage slot that leaves the
+// fleet for good would otherwise pin one path per peer it ever talked
+// to (paths are lazily materialized per directed pair and never freed).
+// Dropping bumps the topology version, so outstanding PathHandles are
+// revoked exactly as SetPath would revoke them; a later send between
+// the same pair re-materializes a fresh path from the configured
+// defaults. Do not call this for hosts that will keep talking — the
+// fresh path forgets FIFO-clamp and loss-chain state, which is only
+// sound once the host is gone.
+func (n *Network) DropHostPaths(host HostID) int {
+	dropped := 0
+	for k := range n.paths {
+		if k.from == host || k.to == host {
+			delete(n.paths, k)
+			dropped++
+		}
+	}
+	if dropped > 0 {
+		n.version++
+	}
+	return dropped
+}
+
+// PathCount returns the number of materialized directed paths (testing
+// and telemetry aid: the per-host state a churning fleet must bound).
+func (n *Network) PathCount() int { return len(n.paths) }
+
 // Path returns the parameters of the directed path from → to
 // (the default parameters if unconfigured).
 func (n *Network) Path(from, to HostID) PathParams {

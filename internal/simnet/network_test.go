@@ -212,3 +212,40 @@ func TestNetworkString(t *testing.T) {
 		t.Fatal("empty String")
 	}
 }
+
+func TestDropHostPaths(t *testing.T) {
+	s := New(1)
+	n := NewNetwork(s)
+	n.SetLink("ghost", "fe1", PathParams{Delay: 10 * time.Millisecond})
+	n.SetLink("ghost", "fe2", PathParams{Delay: 12 * time.Millisecond})
+	n.SetLink("stay", "fe1", PathParams{Delay: 5 * time.Millisecond})
+	if got := n.PathCount(); got != 6 {
+		t.Fatalf("PathCount = %d, want 6", got)
+	}
+	ver := n.Version()
+	if got := n.DropHostPaths("ghost"); got != 4 {
+		t.Fatalf("dropped %d paths, want 4", got)
+	}
+	if got := n.PathCount(); got != 2 {
+		t.Fatalf("PathCount after drop = %d, want 2", got)
+	}
+	if n.Version() == ver {
+		t.Fatal("version not bumped by DropHostPaths")
+	}
+	// Surviving path keeps its parameters; dropped pair falls back to
+	// the (zero) defaults.
+	if got := n.Path("stay", "fe1").Delay; got != 5*time.Millisecond {
+		t.Fatalf("surviving path delay = %v", got)
+	}
+	if got := n.Path("ghost", "fe1").Delay; got != 0 {
+		t.Fatalf("dropped path delay = %v, want default 0", got)
+	}
+	// No-op drop must not bump the version.
+	ver = n.Version()
+	if got := n.DropHostPaths("ghost"); got != 0 {
+		t.Fatalf("second drop removed %d paths", got)
+	}
+	if n.Version() != ver {
+		t.Fatal("no-op DropHostPaths bumped version")
+	}
+}

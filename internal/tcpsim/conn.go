@@ -138,6 +138,11 @@ type Conn struct {
 	ackPending  int
 	ackTimerGen uint64
 
+	// retired marks a closed connection waiting for its pending RTO
+	// check events to drain before it can enter the endpoint's free
+	// list (see Endpoint.retire). Only set when recycling is on.
+	retired bool
+
 	// consecutive RTO expiries without progress; the connection aborts
 	// after maxBackoffs so a vanished peer cannot generate retransmit
 	// events forever.
@@ -153,6 +158,13 @@ type Conn struct {
 }
 
 func newConn(ep *Endpoint, remote simnet.HostID, remotePort, localPort uint16, server bool) *Conn {
+	if n := len(ep.free); n > 0 {
+		c := ep.free[n-1]
+		ep.free[n-1] = nil
+		ep.free = ep.free[:n-1]
+		c.reinit(remote, remotePort, localPort, server)
+		return c
+	}
 	cfg := ep.cfg
 	c := &Conn{
 		ep:         ep,
@@ -164,9 +176,12 @@ func newConn(ep *Endpoint, remote simnet.HostID, remotePort, localPort uint16, s
 		ssthresh:   float64(cfg.InitialSsthresh),
 		peerWnd:    cfg.RcvWindow, // until the peer advertises
 		rto:        time.Second,   // RFC 6298 initial RTO
-		ooo:        make(map[uint64][]byte),
-		bufBase:    1, // data starts after the SYN
-		rcvNxt:     0,
+		// ooo is lazily allocated on the first out-of-order arrival:
+		// the common short loss-free flow never buffers out of order,
+		// and a million-client fleet should not pay a map header per
+		// connection for it.
+		bufBase: 1, // data starts after the SYN
+		rcvNxt:  0,
 	}
 	if server {
 		c.st = stateSynRcvd
@@ -174,6 +189,56 @@ func newConn(ep *Endpoint, remote simnet.HostID, remotePort, localPort uint16, s
 		c.st = stateSynSent
 	}
 	return c
+}
+
+// reinit resets a recycled connection object for a fresh connection.
+// Preconditions (enforced by Endpoint.retire): the previous incarnation
+// is closed, out of the demux table, and has no pending timer check
+// events. Three fields deliberately survive across incarnations:
+// timerFn (the pre-bound check closure), the emptied ooo map and
+// oooKeys/sacked backing arrays (capacity reuse), and ackTimerGen —
+// which advances monotonically so a delayed-ACK closure scheduled by a
+// previous life can never match the new incarnation's generation. The
+// old send buffer is dropped, never reused: its write-once contents may
+// still be aliased by in-flight segments on the heap or the fast lane.
+func (c *Conn) reinit(remote simnet.HostID, remotePort, localPort uint16, server bool) {
+	cfg := c.ep.cfg
+	c.OnConnect, c.OnData, c.OnClose = nil, nil, nil
+	c.acceptFn = nil
+	c.remote, c.remotePort, c.localPort, c.server = remote, remotePort, localPort, server
+	c.sndUna, c.sndNxt, c.maxSent = 0, 0, 0
+	c.sndBuf = nil
+	c.bufBase = 1
+	c.cwnd = float64(cfg.InitialCwnd * cfg.MSS)
+	c.ssthresh = float64(cfg.InitialSsthresh)
+	c.peerWnd = cfg.RcvWindow
+	c.dupAcks, c.inRecov, c.recoverSq = 0, false, 0
+	c.finQueued, c.finSent, c.finSeq, c.finAcked = false, false, 0, false
+	c.sacked = c.sacked[:0]
+	c.lastHole = 0
+	c.srtt, c.rttvar, c.rto = 0, 0, time.Second
+	c.rttSampled = false
+	c.timedSeq, c.timedAt, c.timedValid = 0, 0, false
+	c.timerArmed, c.timerDeadline, c.timerSeq = false, 0, 0
+	c.fwdPath = simnet.PathHandle{}
+	c.peer, c.peerEp, c.peerGen = nil, nil, 0
+	c.lane, c.ring = nil, nil
+	c.fastLane, c.fastNo, c.fastNoVer, c.fastNoWhy = false, false, 0, 0
+	c.lossWait, c.lossSeq, c.lossReenter = false, 0, false
+	c.rcvNxt = 0
+	c.finRcvd, c.finRseq, c.closedUp = false, 0, false
+	c.ackPending = 0
+	c.ackTimerGen++
+	c.backoffs = 0
+	c.retransmits, c.fastRetrans, c.timeouts = 0, 0, 0
+	c.bytesSent, c.bytesRecved = 0, 0
+	c.establishedT = 0
+	c.retired = false
+	if server {
+		c.st = stateSynRcvd
+	} else {
+		c.st = stateSynSent
+	}
 }
 
 // RemoteHost returns the peer's host ID.
@@ -727,6 +792,11 @@ func (c *Conn) timerCheck() {
 	ev := c.timerEvs[n]
 	c.timerEvs = c.timerEvs[:n]
 	if !c.timerArmed || c.st == stateClosed {
+		if c.retired && n == 0 {
+			// The last check event referencing this retired object has
+			// drained; the recycle can complete.
+			c.ep.pushFree(c)
+		}
 		return
 	}
 	now := c.ep.Sim().Now()
@@ -1096,6 +1166,9 @@ func (c *Conn) processPayload(s Segment) {
 		// sender's send buffer; the pool recycles it after delivery.
 		if len(s.Data) > 0 {
 			if _, dup := c.ooo[s.Seq]; !dup {
+				if c.ooo == nil {
+					c.ooo = make(map[uint64][]byte)
+				}
 				c.ooo[s.Seq] = c.ep.segPool.copyIn(s.Data)
 				c.oooInsertKey(s.Seq)
 			}
@@ -1272,6 +1345,10 @@ func (c *Conn) abort() {
 			c.OnClose()
 		}
 	}
+	// Retire strictly after OnClose: the callback may open a new
+	// connection, which must not be handed this very object while the
+	// abort frame still references it.
+	c.ep.retire(c)
 }
 
 // releaseOOO returns any still-buffered out-of-order segments to the
@@ -1297,5 +1374,6 @@ func (c *Conn) maybeFinish() {
 		c.cancelTimer()
 		c.releaseOOO()
 		c.ep.remove(c)
+		c.ep.retire(c)
 	}
 }

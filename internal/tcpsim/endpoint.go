@@ -54,6 +54,14 @@ type Endpoint struct {
 	// host's connections; see the ownership rules on segPool.
 	segPool segPool
 
+	// free is the connection free list (Config.RecycleConns): closed
+	// connection objects whose scheduled timer events have all drained,
+	// ready for reinit by the next Dial or accept. Ownership rule: an
+	// object is on the free list XOR reachable as a live connection —
+	// retire/pushFree are the only producers, newConn the only
+	// consumer.
+	free []*Conn
+
 	// Tap, when non-nil, observes every segment this endpoint sends or
 	// receives. Used for packet capture.
 	Tap func(TapEvent)
@@ -185,5 +193,31 @@ func (e *Endpoint) remove(c *Conn) {
 	delete(e.conns, connKey{c.remote, c.remotePort, c.localPort})
 }
 
+// retire offers a closed, demux-removed connection to the free list.
+// If scheduled RTO check events still reference the object it is only
+// marked; the last check to pop completes the recycle (timerCheck).
+// Callers must invoke retire after every other use of the object in
+// the current call stack — in particular after OnClose, which may open
+// a new connection synchronously.
+func (e *Endpoint) retire(c *Conn) {
+	if !e.cfg.RecycleConns || c.retired {
+		return
+	}
+	if len(c.timerEvs) > 0 {
+		c.retired = true
+		return
+	}
+	e.pushFree(c)
+}
+
+// pushFree places a fully drained retired connection on the free list.
+func (e *Endpoint) pushFree(c *Conn) {
+	c.retired = false
+	e.free = append(e.free, c)
+}
+
 // OpenConns returns the number of tracked connections (testing aid).
 func (e *Endpoint) OpenConns() int { return len(e.conns) }
+
+// FreeConns returns the size of the connection free list (testing aid).
+func (e *Endpoint) FreeConns() int { return len(e.free) }

@@ -124,6 +124,17 @@ type Config struct {
 	// HeaderSize is the per-segment overhead (IP+TCP headers) added to
 	// the simnet packet size. Default 40.
 	HeaderSize int
+	// RecycleConns enables free-list recycling of completed connection
+	// objects on this endpoint: a closed connection returns to the
+	// endpoint once no scheduled timer event references it, and the
+	// next Dial/accept reinitializes it in place instead of
+	// allocating. Recycling is invisible to protocol behaviour —
+	// segment timings, RNG draws and port allocation are unchanged —
+	// but callers that retain *Conn pointers past OnClose must leave
+	// it off: a recycled object may become a different connection.
+	// Default off; the fleet campaign's churning client endpoints
+	// turn it on (docs/SCALE.md).
+	RecycleConns bool
 }
 
 // withDefaults fills zero fields with defaults.

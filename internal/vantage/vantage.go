@@ -12,6 +12,7 @@ import (
 
 	"fesplit/internal/cdn"
 	"fesplit/internal/geo"
+	"fesplit/internal/shard"
 	"fesplit/internal/simnet"
 	"fesplit/internal/stats"
 )
@@ -92,6 +93,37 @@ func NewFleet(n int, metros []geo.Site, profile AccessProfile, seed int64) *Flee
 		}
 	}
 	return f
+}
+
+// SynthNode synthesizes node idx of a virtual fleet in O(1), without
+// materializing any other node: the per-node RNG is seeded by a
+// SplitMix64 mix of (seed, idx), so any slot of a million-client fleet
+// can be produced — and byte-identically re-produced — independently of
+// order, subset, or shard layout. The draw structure mirrors NewFleet's
+// (metro pick, centroid scatter, access-latency draw) but the random
+// streams differ: SynthNode defines its own fleet, not a random-access
+// view of NewFleet's sequential one. Host IDs use a distinct
+// "client-%07d" namespace so synthetic clients can coexist with a
+// materialized fleet on one network.
+func SynthNode(seed int64, idx int, metros []geo.Site, profile AccessProfile) Node {
+	rng := stats.NewRand(shard.Mix(seed, uint64(idx)))
+	m := metros[rng.Intn(len(metros))]
+	pt := geo.Point{
+		Lat: m.Point.Lat + (rng.Float64()-0.5)*0.5,
+		Lon: m.Point.Lon + (rng.Float64()-0.5)*0.5,
+	}
+	span := profile.OneWayMax - profile.OneWayMin
+	oneWay := profile.OneWayMin
+	if span > 0 {
+		oneWay += time.Duration(rng.Int63n(int64(span)))
+	}
+	return Node{
+		Host:   simnet.HostID(fmt.Sprintf("client-%07d", idx)),
+		Point:  pt,
+		Access: profile,
+		OneWay: oneWay,
+		Metro:  m.Name,
+	}
 }
 
 // DefaultFleet builds the standard 250-node campus fleet over the world

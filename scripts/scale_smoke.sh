@@ -1,0 +1,61 @@
+#!/usr/bin/env bash
+# Scale smoke test: the bounded-memory fleet contract, end to end
+# through the CLI.
+#
+#   1. A 10⁴-client streaming diurnal campaign must complete every
+#      arrival with the heap watermark under the pinned bound and a
+#      pooled-slot count that tracks peak concurrency, not clients.
+#   2. fleet.csv must be byte-identical for -workers 1 and -workers 4
+#      (the sharded fleet runner's determinism contract).
+#   3. The small-scale figure CSVs must stay byte-identical to the
+#      golden copies in testdata/golden — scaling machinery must never
+#      perturb the regular study.
+#
+# Usage: scripts/scale_smoke.sh [path-to-fesplit-binary]
+# Env:   SCALE_HEAP_BOUND_MIB (default 192) — the pinned heap bound,
+#        matching TestFleetStudyHeapBound.
+set -euo pipefail
+
+bin=${1:-./bin/fesplit}
+bound=${SCALE_HEAP_BOUND_MIB:-192}
+clients=10000
+out=$(mktemp -d)
+trap 'rm -rf "$out"' EXIT
+
+# --- 1. bounded-memory campaign -------------------------------------
+"$bin" study -diurnal -clients "$clients" -horizon 4m -seed 42 \
+    -workers 4 -dir "$out/fleet-w4" 2>"$out/fleet.log"
+cat "$out/fleet.log"
+
+heap=$(sed -n "s/^study: overall .*peak heap \([0-9.]*\) MiB for ${clients} clients\$/\1/p" \
+    "$out/fleet.log" | head -1)
+[ -n "$heap" ] || { echo "no peak-heap summary on stderr"; exit 1; }
+awk -v h="$heap" -v b="$bound" 'BEGIN { exit !(h + 0 > 0 && h + 0 < b) }' \
+    || { echo "peak heap ${heap} MiB outside (0, ${bound}) MiB bound"; exit 1; }
+
+total=$(grep '^total,' "$out/fleet-w4/fleet.csv")
+case "$total" in
+    total,${clients},${clients},*) ;;
+    *) echo "fleet.csv totals not ${clients}/${clients}: $total"; exit 1 ;;
+esac
+# Field 5 is the pooled slot count: the campaign's whole point is that
+# it tracks peak concurrency (the diurnal curve), not the client count.
+echo "$total" | awk -F, -v c="$clients" \
+    '{ exit !($5 + 0 > 0 && $5 + 0 < c / 5) }' \
+    || { echo "pooled slots not compact: $total"; exit 1; }
+echo "scale smoke: ${clients} clients, peak heap ${heap} MiB < ${bound} MiB, slots $(echo "$total" | cut -d, -f5)"
+
+# --- 2. worker-invariant fleet.csv ----------------------------------
+"$bin" study -diurnal -clients "$clients" -horizon 4m -seed 42 \
+    -workers 1 -dir "$out/fleet-w1" 2>>"$out/fleet.log"
+cmp "$out/fleet-w1/fleet.csv" "$out/fleet-w4/fleet.csv" \
+    || { echo "fleet.csv differs between -workers 1 and -workers 4"; exit 1; }
+echo "scale smoke: fleet.csv byte-identical across worker counts"
+
+# --- 3. small-scale figures still match golden ----------------------
+"$bin" study -seed 42 -workers 2 -dir "$out/figs" 2>"$out/figs.log"
+for g in testdata/golden/*.csv; do
+    cmp "$g" "$out/figs/$(basename "$g")" \
+        || { echo "figure $(basename "$g") drifted from golden"; exit 1; }
+done
+echo "scale smoke: ok (heap bound + worker invariance + golden figures)"
